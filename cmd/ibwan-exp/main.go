@@ -1,0 +1,97 @@
+// Command ibwan-exp regenerates the tables and figures of "Performance of
+// HPC Middleware over InfiniBand WAN" on the simulated testbed.
+//
+// Usage:
+//
+//	ibwan-exp [flags] <experiment>...
+//	ibwan-exp all
+//
+// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//
+// Examples:
+//
+//	ibwan-exp fig5                 # verbs RC bandwidth vs delay
+//	ibwan-exp -csv fig9            # threshold tuning, CSV output
+//	ibwan-exp -class A fig12       # NAS sweep at class A (faster)
+//	ibwan-exp all                  # everything (takes a while)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// flagSet reports whether the named flag was set explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render terminal sparkline charts instead of tables")
+	class := flag.String("class", "B", "NAS problem class for fig12 (B, A or W)")
+	fileMB := flag.Int("filemb", 512, "IOzone file size in MB for fig13")
+	tcpMS := flag.Int("tcpms", 60, "TCP measurement window (virtual ms) for fig6/fig7")
+	quick := flag.Bool("quick", false, "coarse sweeps for a fast smoke run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
+			strings.Join(core.ExperimentIDs, " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := core.Options{NASClass: *class, NFSFileMB: *fileMB, TCPMillis: *tcpMS, Quick: *quick}
+	if *quick {
+		// Let Quick pick its own lighter defaults unless overridden.
+		if !flagSet("class") {
+			opt.NASClass = ""
+		}
+		if !flagSet("filemb") {
+			opt.NFSFileMB = 0
+		}
+		if !flagSet("tcpms") {
+			opt.TCPMillis = 0
+		}
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = core.ExperimentIDs
+	}
+	valid := map[string]bool{}
+	for _, id := range core.ExperimentIDs {
+		valid[id] = true
+	}
+	for _, id := range ids {
+		if !valid[id] {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+	for _, id := range ids {
+		fmt.Printf("=== %s ===\n", id)
+		for _, t := range core.Run(id, opt) {
+			switch {
+			case *csv:
+				t.RenderCSV(os.Stdout)
+			case *chart:
+				t.RenderChart(os.Stdout)
+			default:
+				t.Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command ibwan-mpi runs OSU-microbenchmark-style MPI measurements across
+// the simulated IB WAN testbed.
+//
+// Usage:
+//
+//	ibwan-mpi -bench latency|bw|bibw|mr|bcast [-delay us] [-size bytes]
+//	          [-threshold bytes] [-pairs n] [-nodes n] [-ppn n] [-hier]
+//	          [-autotune]
+//
+// Examples:
+//
+//	ibwan-mpi -bench bw -size 16384 -delay 1000
+//	ibwan-mpi -bench bw -size 16384 -delay 1000 -threshold 65536
+//	ibwan-mpi -bench bw -size 16384 -delay 1000 -autotune
+//	ibwan-mpi -bench bcast -size 131072 -delay 1000 -hier -nodes 32 -ppn 2
+//	ibwan-mpi -bench mr -pairs 16 -size 1024 -delay 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func main() {
+	bench := flag.String("bench", "latency", "benchmark: latency, bw, bibw, mr, bcast")
+	delay := flag.Float64("delay", 0, "one-way WAN delay in microseconds")
+	size := flag.Int("size", 8, "message size in bytes")
+	iters := flag.Int("iters", 10, "iterations")
+	threshold := flag.Int("threshold", 0, "eager/rendezvous threshold (0 = default 8K)")
+	autotune := flag.Bool("autotune", false, "probe the link and set the threshold adaptively")
+	pairs := flag.Int("pairs", 4, "communicating pairs for -bench mr")
+	nodes := flag.Int("nodes", 32, "nodes per cluster for -bench bcast")
+	ppn := flag.Int("ppn", 2, "processes per node for -bench bcast")
+	hier := flag.Bool("hier", false, "use the WAN-aware hierarchical broadcast")
+	flag.Parse()
+
+	d := sim.Micros(*delay)
+	cfg := mpi.Config{EagerThreshold: *threshold}
+
+	switch *bench {
+	case "latency", "bw", "bibw":
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: d})
+		if *autotune {
+			cfg = core.AutoTune(env, tb.A[0], tb.B[0])
+			fmt.Printf("autotuned eager threshold: %d bytes\n", cfg.EagerThreshold)
+		}
+		w := mpi.NewWorld(env, []*cluster.Node{tb.A[0], tb.B[0]}, cfg)
+		switch *bench {
+		case "latency":
+			fmt.Printf("MPI latency, %d bytes, delay %.0fus: %.2f us\n",
+				*size, *delay, mpi.Latency(w, *size, *iters).Microseconds())
+		case "bw":
+			fmt.Printf("MPI bandwidth, %d bytes, delay %.0fus, threshold %d: %.1f MillionBytes/s\n",
+				*size, *delay, w.Config().EagerThreshold, mpi.Bandwidth(w, *size, *iters))
+		case "bibw":
+			fmt.Printf("MPI bidirectional bandwidth, %d bytes, delay %.0fus: %.1f MillionBytes/s\n",
+				*size, *delay, mpi.BiBandwidth(w, *size, *iters))
+		}
+	case "mr":
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: *pairs, NodesB: *pairs, Delay: d})
+		var placement []*cluster.Node
+		placement = append(placement, tb.A...)
+		placement = append(placement, tb.B...)
+		w := mpi.NewWorld(env, placement, cfg)
+		fmt.Printf("MPI message rate, %d pairs, %d bytes, delay %.0fus: %.3f Million msgs/s\n",
+			*pairs, *size, *delay, mpi.MessageRate(w, *pairs, *size, *iters))
+	case "bcast":
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: *nodes, NodesB: *nodes, Delay: d})
+		placement := mpi.BlockPlacement(tb.Nodes(), *ppn)
+		w := mpi.NewWorld(env, placement, cfg)
+		kind := "original"
+		if *hier {
+			kind = "hierarchical"
+		}
+		fmt.Printf("MPI %s bcast latency, %d procs, %d bytes, delay %.0fus: %.2f us\n",
+			kind, len(placement), *size, *delay,
+			mpi.BcastLatency(w, *size, *iters, *hier).Microseconds())
+	default:
+		fmt.Fprintf(os.Stderr, "ibwan-mpi: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+}

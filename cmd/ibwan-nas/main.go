@@ -1,0 +1,71 @@
+// Command ibwan-nas runs NAS parallel benchmark communication skeletons
+// (IS, FT, CG) across the simulated cluster-of-clusters.
+//
+// Usage:
+//
+//	ibwan-nas [-kernel IS|FT|CG|all] [-class B|A|W] [-procs n] [-delay us]
+//	          [-profile]
+//
+// Examples:
+//
+//	ibwan-nas -kernel IS -delay 10000
+//	ibwan-nas -kernel all -class A -procs 16
+//	ibwan-nas -kernel CG -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/sim"
+)
+
+func main() {
+	kernel := flag.String("kernel", "all", "kernel: IS, FT, CG, MG, LU or all")
+	class := flag.String("class", "B", "problem class: B (paper), A or W")
+	procs := flag.Int("procs", 64, "total MPI processes (half per cluster)")
+	delay := flag.Float64("delay", 0, "one-way WAN delay in microseconds")
+	profile := flag.Bool("profile", false, "print the message-size profile")
+	flag.Parse()
+
+	kernels := nas.AllKernels()
+	if *kernel != "all" {
+		ok := false
+		for _, k := range kernels {
+			if k == *kernel {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ibwan-nas: unknown kernel %q\n", *kernel)
+			os.Exit(2)
+		}
+		kernels = []string{*kernel}
+	}
+	if *procs%2 != 0 || *procs < 2 {
+		fmt.Fprintln(os.Stderr, "ibwan-nas: -procs must be even and >= 2")
+		os.Exit(2)
+	}
+
+	for _, k := range kernels {
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: *procs / 2, NodesB: *procs / 2, Delay: sim.Micros(*delay)})
+		var nodes []*cluster.Node
+		nodes = append(nodes, tb.A...)
+		nodes = append(nodes, tb.B...)
+		w := mpi.NewWorld(env, nodes, mpi.Config{})
+		elapsed := nas.RunClass(w, k, *class)
+		fmt.Printf("NAS %s class %s, %d procs, delay %.0fus: %.3f s\n",
+			k, *class, *procs, *delay, elapsed.Seconds())
+		if *profile {
+			mp := w.Profile()
+			fmt.Printf("  messages: %d, volume: %.1f MB, large-volume fraction: %.2f, tiny-count fraction: %.2f, max message: %d B\n",
+				mp.Msgs, float64(mp.Bytes)/1e6, mp.LargeVolumeFraction(), mp.TinyCountFraction(), mp.MaxMessage)
+		}
+		w.Shutdown()
+	}
+}

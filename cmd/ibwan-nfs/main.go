@@ -1,0 +1,77 @@
+// Command ibwan-nfs measures NFS throughput across the simulated IB WAN
+// testbed with an IOzone-style workload.
+//
+// Usage:
+//
+//	ibwan-nfs [-transport rdma|tcp-rc|tcp-ud] [-threads n] [-delay us]
+//	          [-filemb n] [-record bytes] [-write] [-lan]
+//
+// Examples:
+//
+//	ibwan-nfs -transport rdma -threads 8 -delay 100
+//	ibwan-nfs -transport tcp-rc -threads 8 -delay 1000
+//	ibwan-nfs -transport rdma -lan          # same-cluster DDR baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/ipoib"
+	"repro/internal/nfs"
+	"repro/internal/sim"
+)
+
+func main() {
+	transport := flag.String("transport", "rdma", "transport: rdma, tcp-rc or tcp-ud")
+	threads := flag.Int("threads", 1, "IOzone client threads")
+	delay := flag.Float64("delay", 0, "one-way WAN delay in microseconds")
+	fileMB := flag.Int("filemb", 512, "file size in MB")
+	record := flag.Int("record", 256<<10, "record size in bytes")
+	writeMode := flag.Bool("write", false, "measure writes instead of reads")
+	lan := flag.Bool("lan", false, "mount within one cluster (DDR, no Longbows)")
+	flag.Parse()
+
+	env := sim.NewEnv()
+	var server, client *cluster.Node
+	if *lan {
+		tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 1})
+		server, client = tb.A[1], tb.A[0]
+	} else {
+		tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: sim.Micros(*delay)})
+		server, client = tb.B[0], tb.A[0]
+	}
+
+	var srv *nfs.Server
+	var cl *nfs.Client
+	switch *transport {
+	case "rdma":
+		srv, cl = nfs.MountRDMA(server, client)
+	case "tcp-rc":
+		srv, cl = nfs.MountTCP(env, server, client, ipoib.Connected)
+	case "tcp-ud":
+		srv, cl = nfs.MountTCP(env, server, client, ipoib.Datagram)
+	default:
+		fmt.Fprintf(os.Stderr, "ibwan-nfs: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	srv.AddSyntheticFile("bench", int64(*fileMB)<<20)
+	bw := nfs.IOzone(env, cl, "bench", nfs.IOzoneConfig{
+		FileSize:   int64(*fileMB) << 20,
+		RecordSize: *record,
+		Threads:    *threads,
+		Write:      *writeMode,
+	})
+	op := "read"
+	if *writeMode {
+		op = "write"
+	}
+	where := fmt.Sprintf("WAN delay %.0fus", *delay)
+	if *lan {
+		where = "LAN (DDR)"
+	}
+	fmt.Printf("NFS/%s %s throughput, %d thread(s), %d MB file, %d B records, %s: %.1f MillionBytes/s\n",
+		*transport, op, *threads, *fileMB, *record, where, bw)
+}

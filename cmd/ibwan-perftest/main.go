@@ -1,0 +1,89 @@
+// Command ibwan-perftest runs verbs-level performance tests across the
+// simulated IB WAN testbed, in the spirit of the OFED perftest suite
+// (ib_send_lat, ib_send_bw, ...).
+//
+// Usage:
+//
+//	ibwan-perftest -test lat|wlat|bw|bibw [-transport rc|ud] [-delay us]
+//	               [-size bytes] [-count n] [-window msgs]
+//
+// Examples:
+//
+//	ibwan-perftest -test lat -transport rc -delay 1000
+//	ibwan-perftest -test bw -size 65536 -delay 1000 -window 8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+	"repro/internal/perftest"
+	"repro/internal/sim"
+)
+
+func main() {
+	test := flag.String("test", "lat", "test: lat, wlat (RDMA write latency), bw, bibw")
+	transport := flag.String("transport", "rc", "transport: rc or ud")
+	delay := flag.Float64("delay", 0, "one-way WAN delay in microseconds")
+	size := flag.Int("size", 8, "message size in bytes")
+	count := flag.Int("count", 1000, "messages per bandwidth measurement")
+	iters := flag.Int("iters", 1000, "iterations per latency measurement")
+	window := flag.Int("window", 0, "RC in-flight message window (0 = default)")
+	trace := flag.String("trace", "", "write a JSONL packet trace to this file")
+	flag.Parse()
+
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: sim.Micros(*delay)})
+	a, b := tb.A[0].HCA, tb.B[0].HCA
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-perftest: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		a.Fabric().SetTracer(ib.JSONLTracer(w))
+	}
+	tr := ib.RC
+	if *transport == "ud" {
+		tr = ib.UD
+	}
+
+	switch *test {
+	case "lat":
+		lat := perftest.SendLatency(env, a, b, tr, *size, *iters)
+		fmt.Printf("send/recv %s latency, %d bytes, delay %.0fus: %.2f us\n",
+			tr, *size, *delay, lat.Microseconds())
+	case "wlat":
+		lat := perftest.WriteLatency(env, a, b, *size, *iters)
+		fmt.Printf("RDMA write latency, %d bytes, delay %.0fus: %.2f us\n",
+			*size, *delay, lat.Microseconds())
+	case "bw":
+		var bw float64
+		if tr == ib.UD {
+			bw = perftest.BandwidthUD(env, a, b, *size, *count)
+		} else {
+			bw = perftest.BandwidthRC(env, a, b, *size, *count, *window)
+		}
+		fmt.Printf("%s bandwidth, %d bytes, delay %.0fus: %.1f MillionBytes/s\n",
+			tr, *size, *delay, bw)
+	case "bibw":
+		var bw float64
+		if tr == ib.UD {
+			bw = perftest.BiBandwidthUD(env, a, b, *size, *count)
+		} else {
+			bw = perftest.BiBandwidthRC(env, a, b, *size, *count, *window)
+		}
+		fmt.Printf("%s bidirectional bandwidth, %d bytes, delay %.0fus: %.1f MillionBytes/s\n",
+			tr, *size, *delay, bw)
+	default:
+		fmt.Fprintf(os.Stderr, "ibwan-perftest: unknown test %q\n", *test)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,121 @@
+// Command ibwan-trace analyzes a JSONL packet trace produced by
+// ibwan-perftest -trace (or any ib.JSONLTracer): per-device packet and byte
+// counts, per-packet-kind breakdown, and end-to-end delivery latency
+// percentiles for data packets.
+//
+// Usage:
+//
+//	ibwan-perftest -test bw -size 65536 -delay 1000 -trace /tmp/t.jsonl
+//	ibwan-trace /tmp/t.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+type flowKey struct {
+	msg  int64
+	seq  int
+	kind string
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ibwan-trace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibwan-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	type devStat struct {
+		tx, rx, drop int64
+		bytes        int64
+	}
+	devs := map[string]*devStat{}
+	kinds := map[string]int64{}
+	firstTx := map[flowKey]sim.Time{}
+	var latencies []sim.Time
+	var events int64
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev ib.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-trace: bad line: %v\n", err)
+			os.Exit(1)
+		}
+		events++
+		d := devs[ev.Dev]
+		if d == nil {
+			d = &devStat{}
+			devs[ev.Dev] = d
+		}
+		key := flowKey{ev.Msg, ev.Seq, ev.Pkt}
+		switch ev.Kind {
+		case "tx":
+			d.tx++
+			d.bytes += int64(ev.Wire)
+			kinds[ev.Pkt]++
+			if _, seen := firstTx[key]; !seen {
+				firstTx[key] = ev.Time
+			}
+		case "rx":
+			d.rx++
+			// End-to-end latency: first tx of this packet to its arrival
+			// at the destination HCA.
+			if t0, ok := firstTx[key]; ok && ev.Pkt == "data" {
+				latencies = append(latencies, ev.Time-t0)
+				delete(firstTx, key)
+			}
+		case "drop":
+			d.drop++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ibwan-trace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d events\n\n", events)
+	fmt.Println("per-device:")
+	names := make([]string, 0, len(devs))
+	for n := range devs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := devs[n]
+		fmt.Printf("  %-14s tx %7d pkts %12d B   rx %7d   drops %d\n", n, d.tx, d.bytes, d.rx, d.drop)
+	}
+	fmt.Println("\npacket kinds (tx):")
+	kn := make([]string, 0, len(kinds))
+	for k := range kinds {
+		kn = append(kn, k)
+	}
+	sort.Strings(kn)
+	for _, k := range kn {
+		fmt.Printf("  %-10s %d\n", k, kinds[k])
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) sim.Time {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		fmt.Printf("\ndata-packet delivery latency (%d packets):\n", len(latencies))
+		fmt.Printf("  p50 %v   p90 %v   p99 %v   max %v\n",
+			pct(0.50), pct(0.90), pct(0.99), latencies[len(latencies)-1])
+	}
+}

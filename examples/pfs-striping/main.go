@@ -1,0 +1,43 @@
+// Parallel file system striping over the WAN: the paper's future work
+// ("parallel file-systems" over IB range extension). A single NFS/RDMA
+// mount is limited by one connection's in-flight window once the link gets
+// long; striping the file across object servers multiplies the in-flight
+// data and recovers aggregate read bandwidth.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func measure(oss int, delay sim.Time) float64 {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: oss, Delay: delay})
+	defer env.Shutdown()
+	fs := pfs.New(tb.B, 0) // 1 MB stripes
+	fs.AddSyntheticFile("dataset", 64<<20)
+	cl := fs.Mount(tb.A[0])
+	return pfs.Throughput(env, cl, "dataset", 8, 1<<20)
+}
+
+func main() {
+	fmt.Println("Striped parallel-FS read throughput across the WAN (MillionBytes/s)")
+	fmt.Println("64 MB file, 1 MB stripes, 8 reader threads")
+	fmt.Println()
+	fmt.Printf("%-14s %10s %10s %10s\n", "delay", "1 OSS", "2 OSS", "4 OSS")
+	for _, us := range []float64{0, 100, 1000, 10000} {
+		d := sim.Micros(us)
+		fmt.Printf("%-14s", fmt.Sprintf("%.0f us", us))
+		for _, oss := range []int{1, 2, 4} {
+			fmt.Printf(" %9.1f ", measure(oss, d))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("At low delay one server already covers the pipe; at 1-10 ms the")
+	fmt.Println("per-connection window binds and striping multiplies throughput —")
+	fmt.Println("the same medicine as parallel TCP streams, applied to storage.")
+}

@@ -1,0 +1,139 @@
+// Package cluster builds the paper's experimental testbed (Fig. 2): two
+// InfiniBand clusters, each with its own switch, joined by a pair of
+// Obsidian Longbow XR WAN extenders. Cluster A models 32 dual-processor
+// Xeon nodes, Cluster B models quad dual-core Xeon nodes, both with DDR
+// HCAs; the WAN hop runs at SDR.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/wan"
+)
+
+// Node is one compute node: an HCA plus a CPU resource used by software
+// protocol stacks (TCP/IPoIB, NFS) to model host processing contention.
+type Node struct {
+	Name string
+	HCA  *ib.HCA
+	CPU  *sim.Resource
+	// Cluster is "A" or "B".
+	Cluster string
+}
+
+// Config sizes the testbed. Zero values select the paper's configuration.
+type Config struct {
+	NodesA int // default 32 (paper: 32 dual-CPU nodes)
+	NodesB int // default 6 (paper: 6 quad dual-core nodes)
+	CoresA int // default 2
+	CoresB int // default 8
+	// Delay is the initial one-way WAN delay.
+	Delay sim.Time
+	// LinkRate is the intra-cluster link rate (default DDR).
+	LinkRate ib.Rate
+	// LeafRadix, when nonzero, builds each cluster as a two-level fat
+	// tree: nodes attach to leaf switches of this radix, and every leaf
+	// uplinks to the cluster's spine switch (which also carries the WAN
+	// uplink). Zero keeps the paper's single-switch cluster.
+	LeafRadix int
+}
+
+func (c *Config) fill() {
+	if c.NodesA == 0 {
+		c.NodesA = 32
+	}
+	if c.NodesB == 0 {
+		c.NodesB = 6
+	}
+	if c.CoresA == 0 {
+		c.CoresA = 2
+	}
+	if c.CoresB == 0 {
+		c.CoresB = 8
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = ib.DDR
+	}
+}
+
+// Testbed is the assembled cluster-of-clusters.
+type Testbed struct {
+	Env     *sim.Env
+	Fabric  *ib.Fabric
+	A, B    []*Node
+	SwitchA *ib.Switch // cluster A spine
+	SwitchB *ib.Switch // cluster B spine
+	LeavesA []*ib.Switch
+	LeavesB []*ib.Switch
+	WAN     *wan.Pair
+}
+
+// New assembles the testbed on the given environment.
+func New(env *sim.Env, cfg Config) *Testbed {
+	cfg.fill()
+	f := ib.NewFabric(env)
+	tb := &Testbed{Env: env, Fabric: f}
+	tb.SwitchA = f.AddSwitch("switch-A", ib.SwitchDelay)
+	tb.SwitchB = f.AddSwitch("switch-B", ib.SwitchDelay)
+	tb.WAN = wan.NewPair(f, "longbow", cfg.Delay)
+	f.Connect(tb.SwitchA, tb.WAN.A.Device(), cfg.LinkRate, ib.DefaultCableDelay)
+	f.Connect(tb.SwitchB, tb.WAN.B.Device(), cfg.LinkRate, ib.DefaultCableDelay)
+	buildCluster := func(label string, count, cores int, spine *ib.Switch, leaves *[]*ib.Switch) []*Node {
+		var nodes []*Node
+		attach := func(n *Node, i int) {
+			if cfg.LeafRadix <= 0 {
+				f.Connect(n.HCA, spine, cfg.LinkRate, ib.DefaultCableDelay)
+				return
+			}
+			leafIdx := i / cfg.LeafRadix
+			for len(*leaves) <= leafIdx {
+				leaf := f.AddSwitch(fmt.Sprintf("leaf-%s%d", label, len(*leaves)), ib.SwitchDelay)
+				f.Connect(leaf, spine, cfg.LinkRate, ib.DefaultCableDelay)
+				*leaves = append(*leaves, leaf)
+			}
+			f.Connect(n.HCA, (*leaves)[leafIdx], cfg.LinkRate, ib.DefaultCableDelay)
+		}
+		for i := 0; i < count; i++ {
+			n := &Node{
+				Name:    fmt.Sprintf("%s%02d", strings.ToLower(label), i),
+				CPU:     sim.NewResource(env, cores),
+				Cluster: label,
+			}
+			n.HCA = f.AddHCA(n.Name)
+			attach(n, i)
+			nodes = append(nodes, n)
+		}
+		return nodes
+	}
+	tb.A = buildCluster("A", cfg.NodesA, cfg.CoresA, tb.SwitchA, &tb.LeavesA)
+	tb.B = buildCluster("B", cfg.NodesB, cfg.CoresB, tb.SwitchB, &tb.LeavesB)
+	f.Finalize()
+	return tb
+}
+
+// SetDelay reconfigures the WAN delay knob (valid between runs or at any
+// quiescent point; in-flight packets keep the delay they departed with).
+func (t *Testbed) SetDelay(d sim.Time) { t.WAN.SetDelay(d) }
+
+// Nodes returns all nodes, cluster A first.
+func (t *Testbed) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.A)+len(t.B))
+	out = append(out, t.A...)
+	out = append(out, t.B...)
+	return out
+}
+
+// CrossPair returns the i-th node of each cluster, the standard WAN
+// communication pair used throughout the paper's experiments.
+func (t *Testbed) CrossPair(i int) (*Node, *Node) {
+	return t.A[i%len(t.A)], t.B[i%len(t.B)]
+}
+
+// PaperDelays are the WAN delays the paper sweeps (Table 1 and all
+// figures): 0 (LAN-like), 10 us, 100 us, 1 ms and 10 ms one-way.
+func PaperDelays() []sim.Time {
+	return []sim.Time{0, sim.Micros(10), sim.Micros(100), sim.Micros(1000), sim.Micros(10000)}
+}

@@ -1,0 +1,609 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+	"repro/internal/ipoib"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/nfs"
+	"repro/internal/perftest"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/wan"
+)
+
+// Experiment identifiers, in the paper's order.
+var ExperimentIDs = []string{
+	"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+}
+
+// Run generates the tables for one experiment id. The options control the
+// heavyweight experiments; zero values select paper-fidelity settings.
+func Run(id string, opt Options) []*stats.Table {
+	switch id {
+	case "table1":
+		return Table1()
+	case "fig3":
+		return Fig3()
+	case "fig4":
+		return Fig4(opt)
+	case "fig5":
+		return Fig5(opt)
+	case "fig6":
+		return Fig6(opt)
+	case "fig7":
+		return Fig7(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "fig9":
+		return Fig9(opt)
+	case "fig10":
+		return Fig10(opt)
+	case "fig11":
+		return Fig11(opt)
+	case "fig12":
+		return Fig12(opt)
+	case "fig13":
+		return Fig13(opt)
+	}
+	panic(fmt.Sprintf("core: unknown experiment %q", id))
+}
+
+// Options tunes experiment weight without changing shape.
+type Options struct {
+	// NASClass selects the NAS problem class for fig12 ("B" = paper;
+	// "A"/"W" are faster). Default "B" ("W" under Quick).
+	NASClass string
+	// NFSFileMB is the IOzone file size in MB (paper: 512). Throughput is
+	// steady-state, so smaller files give the same numbers faster.
+	// Default 512.
+	NFSFileMB int
+	// TCPMillis is the per-point measurement window for the TCP
+	// experiments in milliseconds of virtual time at zero delay; it is
+	// scaled up with delay automatically. Default 60.
+	TCPMillis int
+	// Quick shrinks every sweep (fewer delays, sizes, streams, smaller
+	// worlds) for smoke runs; shapes remain visible but are coarser.
+	Quick bool
+}
+
+func (o *Options) fill() {
+	if o.NASClass == "" {
+		o.NASClass = "B"
+		if o.Quick {
+			o.NASClass = "W"
+		}
+	}
+	if o.NFSFileMB == 0 {
+		o.NFSFileMB = 512
+		if o.Quick {
+			o.NFSFileMB = 16
+		}
+	}
+	if o.TCPMillis == 0 {
+		o.TCPMillis = 60
+		if o.Quick {
+			o.TCPMillis = 10
+		}
+	}
+}
+
+// delays returns the WAN delay sweep.
+func (o Options) delays() []sim.Time {
+	if o.Quick {
+		return []sim.Time{0, sim.Micros(1000)}
+	}
+	return cluster.PaperDelays()
+}
+
+// sizes returns the message-size sweep between lo and hi.
+func (o Options) sizes(lo, hi int) []int {
+	all := stats.Sizes(lo, hi)
+	if !o.Quick || len(all) <= 3 {
+		return all
+	}
+	return []int{all[0], all[len(all)/2], all[len(all)-1]}
+}
+
+// RunAll generates every experiment, rendering each table to w as it
+// completes.
+func RunAll(w io.Writer, opt Options) {
+	for _, id := range ExperimentIDs {
+		fmt.Fprintf(w, "=== %s ===\n", id)
+		for _, t := range Run(id, opt) {
+			t.Render(w)
+		}
+	}
+}
+
+// delayLabel formats a delay series label in the paper's style.
+func delayLabel(d sim.Time) string {
+	if d == 0 {
+		return "no-delay"
+	}
+	return fmt.Sprintf("%dus-delay", int64(d/sim.Microsecond))
+}
+
+// hcaPair builds the standard one-node-per-cluster WAN testbed.
+func hcaPair(delay sim.Time) (*sim.Env, *cluster.Testbed) {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
+	return env, tb
+}
+
+// Table1 reproduces the delay/distance mapping.
+func Table1() []*stats.Table {
+	t := stats.NewTable("Table 1: Delay Overhead corresponding to Wire Length",
+		"Distance (km)", "Delay (us)")
+	s := t.AddSeries("delay")
+	for _, km := range []float64{10, 20, 200, 2000, 20000} {
+		s.Add(km, wan.DelayForDistance(km).Microseconds())
+	}
+	return []*stats.Table{t}
+}
+
+// Fig3 reproduces the verbs-level small-message latency comparison.
+func Fig3() []*stats.Table {
+	t := stats.NewTable("Figure 3: Verbs-level Latency (8-byte messages)",
+		"Configuration", "Latency (us)")
+	const iters = 100
+	measure := func(f func(env *sim.Env, a, b *ib.HCA) sim.Time) float64 {
+		env, tb := hcaPair(0)
+		return f(env, tb.A[0].HCA, tb.B[0].HCA).Microseconds()
+	}
+	// Through the Longbow pair at zero configured delay.
+	udLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
+		return perftest.SendLatency(env, a, b, ib.UD, 8, iters)
+	})
+	rcLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
+		return perftest.SendLatency(env, a, b, ib.RC, 8, iters)
+	})
+	wrLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
+		return perftest.WriteLatency(env, a, b, 8, iters)
+	})
+	// Back-to-back DDR nodes, no Longbows.
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	a, b := f.AddHCA("a"), f.AddHCA("b")
+	f.Connect(a, b, ib.DDR, ib.DefaultCableDelay)
+	f.Finalize()
+	b2b := perftest.SendLatency(env, a, b, ib.RC, 8, iters).Microseconds()
+	for i, row := range []struct {
+		name string
+		val  float64
+	}{
+		{"SendRecv/UD", udLat},
+		{"SendRecv/RC", rcLat},
+		{"RDMAWrite/RC", wrLat},
+		{"BackToBack-SR/RC", b2b},
+	} {
+		s := t.AddSeries(row.name)
+		s.Add(float64(i), row.val)
+	}
+	return []*stats.Table{t}
+}
+
+// bwCount picks a message count that keeps per-point cost bounded while
+// giving a stable estimate (large messages get at least 64 MB of traffic
+// so the one-time pipe fill does not dominate at 10 ms delay).
+func bwCount(size int) int {
+	c := 64 << 20 / size
+	if c < 16 {
+		c = 16
+	}
+	if c > 2048 {
+		c = 2048
+	}
+	return c
+}
+
+// Fig4 reproduces verbs UD bandwidth and bidirectional bandwidth vs delay.
+func Fig4(opt Options) []*stats.Table {
+	opt.fill()
+	bw := stats.NewTable("Figure 4(a): Verbs-level UD Bandwidth",
+		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
+	bibw := stats.NewTable("Figure 4(b): Verbs-level UD Bidirectional Bandwidth",
+		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	for _, d := range opt.delays() {
+		s1 := bw.AddSeries("UD-" + delayLabel(d))
+		s2 := bibw.AddSeries("UD-" + delayLabel(d))
+		for _, size := range opt.sizes(2, ib.MaxUDPayload) {
+			env, tb := hcaPair(d)
+			s1.Add(float64(size), perftest.BandwidthUD(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size)))
+			env2, tb2 := hcaPair(d)
+			s2.Add(float64(size), perftest.BiBandwidthUD(env2, tb2.A[0].HCA, tb2.B[0].HCA, size, bwCount(size)))
+		}
+	}
+	return []*stats.Table{bw, bibw}
+}
+
+// Fig5 reproduces verbs RC bandwidth and bidirectional bandwidth vs delay.
+func Fig5(opt Options) []*stats.Table {
+	opt.fill()
+	bw := stats.NewTable("Figure 5(a): Verbs-level RC Bandwidth",
+		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
+	bibw := stats.NewTable("Figure 5(b): Verbs-level RC Bidirectional Bandwidth",
+		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	for _, d := range opt.delays() {
+		s1 := bw.AddSeries("RC-" + delayLabel(d))
+		s2 := bibw.AddSeries("RC-" + delayLabel(d))
+		for _, size := range opt.sizes(2, 4<<20) {
+			env, tb := hcaPair(d)
+			s1.Add(float64(size), perftest.BandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size), 0))
+			env2, tb2 := hcaPair(d)
+			s2.Add(float64(size), perftest.BiBandwidthRC(env2, tb2.A[0].HCA, tb2.B[0].HCA, size, bwCount(size), 0))
+		}
+	}
+	return []*stats.Table{bw, bibw}
+}
+
+// tcpPoint measures aggregate TCP throughput for the given IPoIB mode, MTU,
+// window, stream count and delay.
+func tcpPoint(mode ipoib.Mode, mtu int, window int, streams int, d sim.Time, opt Options) float64 {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: d})
+	net := ipoib.NewNetwork()
+	da := net.Attach(tb.A[0].HCA, mode, mtu)
+	db := net.Attach(tb.B[0].HCA, mode, mtu)
+	sa := tcpsim.NewStack(da, tcpsim.Config{Window: window})
+	sb := tcpsim.NewStack(db, tcpsim.Config{Window: window})
+	// Measurement window scales with delay so slow starts and pipe fills
+	// finish inside the first half.
+	dur := sim.Time(opt.TCPMillis) * sim.Millisecond
+	if d > 0 {
+		dur += 60 * d
+	}
+	defer env.Shutdown()
+	return tcpThroughput(env, sa, sb, streams, dur)
+}
+
+// tcpThroughput runs one-way flows for dur and returns the steady-state
+// rate over the second half in MillionBytes/s.
+func tcpThroughput(env *sim.Env, sa, sb *tcpsim.Stack, streams int, dur sim.Time) float64 {
+	for i := 0; i < streams; i++ {
+		port := 6000 + i
+		ln := sb.Listen(port)
+		env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
+		env.Go("cli", func(p *sim.Proc) {
+			c := sa.Dial(p, sb.Addr(), port)
+			for {
+				// The paper sends 2 MB application messages.
+				c.WriteSynthetic(p, 2<<20)
+			}
+		})
+	}
+	env.RunUntil(dur / 2)
+	mid := sb.Stats().RxBytes
+	env.RunUntil(dur)
+	end := sb.Stats().RxBytes
+	return float64(end-mid) / (dur / 2).Seconds() / 1e6
+}
+
+// Fig6 reproduces IPoIB-UD throughput: (a) single stream with varying TCP
+// windows, (b) parallel streams, both vs WAN delay.
+func Fig6(opt Options) []*stats.Table {
+	opt.fill()
+	a := stats.NewTable("Figure 6(a): IPoIB-UD single-stream throughput vs delay",
+		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	windows := []struct {
+		label string
+		bytes int
+	}{
+		{"64k-window", 64 << 10},
+		{"256k-window", 256 << 10},
+		{"512k-window", 512 << 10},
+		{"default-window", 0},
+	}
+	for _, w := range windows {
+		s := a.AddSeries(w.label)
+		for _, d := range opt.delays() {
+			s.Add(d.Microseconds(), tcpPoint(ipoib.Datagram, 0, w.bytes, 1, d, opt))
+		}
+	}
+	b := stats.NewTable("Figure 6(b): IPoIB-UD parallel-stream throughput vs delay",
+		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	streams := []int{1, 2, 4, 6, 8}
+	if opt.Quick {
+		streams = []int{1, 4}
+	}
+	for _, n := range streams {
+		s := b.AddSeries(fmt.Sprintf("%d-streams", n))
+		for _, d := range opt.delays() {
+			s.Add(d.Microseconds(), tcpPoint(ipoib.Datagram, 0, 0, n, d, opt))
+		}
+	}
+	return []*stats.Table{a, b}
+}
+
+// Fig7 reproduces IPoIB-RC throughput: (a) single stream with varying IP
+// MTUs, (b) parallel streams, both vs WAN delay.
+func Fig7(opt Options) []*stats.Table {
+	opt.fill()
+	a := stats.NewTable("Figure 7(a): IPoIB-RC single-stream throughput vs delay",
+		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	mtus := []int{2044, 16380, 65532}
+	if opt.Quick {
+		mtus = []int{2044, 65532}
+	}
+	for _, mtu := range mtus {
+		s := a.AddSeries(fmt.Sprintf("%dK-MTU", (mtu+4)>>10))
+		for _, d := range opt.delays() {
+			s.Add(d.Microseconds(), tcpPoint(ipoib.Connected, mtu, 0, 1, d, opt))
+		}
+	}
+	b := stats.NewTable("Figure 7(b): IPoIB-RC parallel-stream throughput vs delay",
+		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	streams2 := []int{1, 2, 4, 6, 8}
+	if opt.Quick {
+		streams2 = []int{1, 4}
+	}
+	for _, n := range streams2 {
+		s := b.AddSeries(fmt.Sprintf("%d-streams", n))
+		for _, d := range opt.delays() {
+			s.Add(d.Microseconds(), tcpPoint(ipoib.Connected, 0, 0, n, d, opt))
+		}
+	}
+	return []*stats.Table{a, b}
+}
+
+// mpiWorld builds a fresh 2-rank cross-WAN world.
+func mpiWorld(delay sim.Time, cfg mpi.Config) *mpi.World {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
+	return mpi.NewWorld(env, []*cluster.Node{tb.A[0], tb.B[0]}, cfg)
+}
+
+// mpiIters bounds per-point cost for the MPI bandwidth loops.
+func mpiIters(size int) int {
+	if size >= 1<<20 {
+		return 1
+	}
+	if size >= 64<<10 {
+		return 2
+	}
+	return 4
+}
+
+// Fig8 reproduces MPI bandwidth and bidirectional bandwidth vs delay.
+func Fig8(opt Options) []*stats.Table {
+	opt.fill()
+	bw := stats.NewTable("Figure 8(a): MPI Bandwidth (MVAPICH2-model)",
+		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
+	bibw := stats.NewTable("Figure 8(b): MPI Bidirectional Bandwidth",
+		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	for _, d := range opt.delays() {
+		s1 := bw.AddSeries("MVAPICH-" + delayLabel(d))
+		s2 := bibw.AddSeries("MVAPICH-" + delayLabel(d))
+		for _, size := range opt.sizes(1, 4<<20) {
+			w := mpiWorld(d, mpi.Config{})
+			s1.Add(float64(size), mpi.Bandwidth(w, size, mpiIters(size)))
+			w.Shutdown()
+			w2 := mpiWorld(d, mpi.Config{})
+			s2.Add(float64(size), mpi.BiBandwidth(w2, size, mpiIters(size)))
+			w2.Shutdown()
+		}
+	}
+	return []*stats.Table{bw, bibw}
+}
+
+// Fig9 reproduces the rendezvous-threshold tuning experiment at 1 ms delay.
+func Fig9(opts ...Options) []*stats.Table {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	opt.fill()
+	const delay = 1000 // microseconds
+	bw := stats.NewTable("Figure 9(a): MPI Bandwidth with protocol thresholds, 1ms delay",
+		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
+	bibw := stats.NewTable("Figure 9(b): MPI Bidirectional Bandwidth with protocol thresholds, 1ms delay",
+		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	cfgs := []struct {
+		label string
+		cfg   mpi.Config
+	}{
+		{"thresh-8k (original)", mpi.Config{}},
+		{"thresh-64k (tuned)", mpi.Config{EagerThreshold: TunedThreshold}},
+	}
+	for _, c := range cfgs {
+		s1 := bw.AddSeries(c.label)
+		s2 := bibw.AddSeries(c.label)
+		for _, size := range opt.sizes(1<<10, 64<<10) {
+			w := mpiWorld(sim.Micros(delay), c.cfg)
+			s1.Add(float64(size), mpi.Bandwidth(w, size, 4))
+			w.Shutdown()
+			w2 := mpiWorld(sim.Micros(delay), c.cfg)
+			s2.Add(float64(size), mpi.BiBandwidth(w2, size, 4))
+			w2.Shutdown()
+		}
+	}
+	return []*stats.Table{bw, bibw}
+}
+
+// Fig10 reproduces the multi-pair aggregate message rate at three delays.
+func Fig10(opt Options) []*stats.Table {
+	opt.fill()
+	delays := []sim.Time{sim.Micros(10), sim.Micros(1000), sim.Micros(10000)}
+	pairCounts := []int{4, 8, 16}
+	if opt.Quick {
+		delays = []sim.Time{sim.Micros(1000)}
+		pairCounts = []int{2, 4}
+	}
+	var out []*stats.Table
+	for _, d := range delays {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 10: Multi-pair message rate, %s", delayLabel(d)),
+			"Message Size (Bytes)", "Message Rate (Million Messages/s)")
+		for _, pairs := range pairCounts {
+			s := t.AddSeries(fmt.Sprintf("%d pairs", pairs))
+			for _, size := range opt.sizes(1, 32<<10) {
+				env := sim.NewEnv()
+				tb := cluster.New(env, cluster.Config{NodesA: pairs, NodesB: pairs, Delay: d})
+				var nodes []*cluster.Node
+				nodes = append(nodes, tb.A...)
+				nodes = append(nodes, tb.B...)
+				w := mpi.NewWorld(env, nodes, mpi.Config{})
+				s.Add(float64(size), mpi.MessageRate(w, pairs, size, 2))
+				w.Shutdown()
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig11 reproduces the broadcast comparison: the stock algorithm vs the
+// WAN-aware hierarchical broadcast, 64+64 processes, three delays.
+func Fig11(opt Options) []*stats.Table {
+	opt.fill()
+	delays := []sim.Time{sim.Micros(10), sim.Micros(100), sim.Micros(1000)}
+	sizes := []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
+	nodesPerCluster := 32
+	if opt.Quick {
+		delays = []sim.Time{sim.Micros(1000)}
+		sizes = []int{64, 128 << 10}
+		nodesPerCluster = 4
+	}
+	var out []*stats.Table
+	for _, d := range delays {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 11: MPI broadcast latency over IB WAN, %s", delayLabel(d)),
+			"Message Size (Bytes)", "Latency (us)")
+		orig := t.AddSeries("Original")
+		mod := t.AddSeries("Modified")
+		for _, size := range sizes {
+			for _, hier := range []bool{false, true} {
+				env := sim.NewEnv()
+				tb := cluster.New(env, cluster.Config{NodesA: nodesPerCluster, NodesB: nodesPerCluster, Delay: d})
+				placement := mpi.BlockPlacement(tb.Nodes(), 2)
+				w := mpi.NewWorld(env, placement, mpi.Config{})
+				lat := mpi.BcastLatency(w, size, 3, hier).Microseconds()
+				if hier {
+					mod.Add(float64(size), lat)
+				} else {
+					orig.Add(float64(size), lat)
+				}
+				w.Shutdown()
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig12 reproduces the NAS benchmark delay sweep: 64 processes, 32 per
+// cluster, execution time vs WAN delay.
+func Fig12(opt Options) []*stats.Table {
+	opt.fill()
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 12: NAS class %s execution time (64 procs, 32+32)", opt.NASClass),
+		"Delay (usecs)", "Execution Time (s)")
+	rel := stats.NewTable(
+		fmt.Sprintf("Figure 12 (derived): NAS class %s slowdown vs zero delay", opt.NASClass),
+		"Delay (usecs)", "Slowdown (x)")
+	nasNodes := 32
+	if opt.Quick {
+		nasNodes = 8
+	}
+	kernels := nas.AllKernels()
+	if opt.Quick {
+		kernels = nas.Kernels()
+	}
+	for _, k := range kernels {
+		s := t.AddSeries(k)
+		sr := rel.AddSeries(k)
+		var base float64
+		for _, d := range opt.delays() {
+			env := sim.NewEnv()
+			tb := cluster.New(env, cluster.Config{NodesA: nasNodes, NodesB: nasNodes, Delay: d})
+			var nodes []*cluster.Node
+			nodes = append(nodes, tb.A...)
+			nodes = append(nodes, tb.B...)
+			w := mpi.NewWorld(env, nodes, mpi.Config{})
+			elapsed := nas.RunClass(w, k, opt.NASClass).Seconds()
+			w.Shutdown()
+			s.Add(d.Microseconds(), elapsed)
+			if d == 0 {
+				base = elapsed
+			}
+			sr.Add(d.Microseconds(), elapsed/base)
+		}
+	}
+	return []*stats.Table{t, rel}
+}
+
+// Fig13 reproduces the NFS read throughput experiments.
+func Fig13(opt Options) []*stats.Table {
+	opt.fill()
+	fileMB := int64(opt.NFSFileMB)
+	streams := []int{1, 2, 4, 8}
+	if opt.Quick {
+		streams = []int{1, 8}
+	}
+	iozone := func(srv *nfs.Server, cl *nfs.Client, env *sim.Env, threads int) float64 {
+		srv.AddSyntheticFile("f", fileMB<<20)
+		return nfs.IOzone(env, cl, "f", nfs.IOzoneConfig{
+			FileSize: fileMB << 20, RecordSize: 256 << 10, Threads: threads,
+		})
+	}
+	// (a) NFS/RDMA: LAN vs WAN delays.
+	a := stats.NewTable("Figure 13(a): NFS/RDMA read throughput",
+		"Number of Streams", "Throughput (MillionBytes/s)")
+	lan := a.AddSeries("LAN")
+	for _, th := range streams {
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 1})
+		srv, cl := nfs.MountRDMA(tb.A[1], tb.A[0])
+		lan.Add(float64(th), iozone(srv, cl, env, th))
+		env.Shutdown()
+	}
+	wanDelays := []sim.Time{0, sim.Micros(10), sim.Micros(100), sim.Micros(1000)}
+	if opt.Quick {
+		wanDelays = []sim.Time{0, sim.Micros(1000)}
+	}
+	for _, d := range wanDelays {
+		s := a.AddSeries(fmt.Sprintf("%dusec", int64(d/sim.Microsecond)))
+		for _, th := range streams {
+			env, tb := hcaPair(d)
+			srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
+			s.Add(float64(th), iozone(srv, cl, env, th))
+			env.Shutdown()
+		}
+	}
+	// (b), (c): transport comparison at 100 us and 1000 us.
+	var out []*stats.Table
+	out = append(out, a)
+	for _, d := range []sim.Time{sim.Micros(100), sim.Micros(1000)} {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 13(%s): NFS read throughput, RDMA vs IPoIB, %s",
+				map[sim.Time]string{sim.Micros(100): "b", sim.Micros(1000): "c"}[d], delayLabel(d)),
+			"Number of Streams", "Throughput (MillionBytes/s)")
+		rdma := t.AddSeries("RDMA")
+		rc := t.AddSeries("IPoIB-RC")
+		ud := t.AddSeries("IPoIB-UD")
+		for _, th := range streams {
+			env, tb := hcaPair(d)
+			srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
+			rdma.Add(float64(th), iozone(srv, cl, env, th))
+			env.Shutdown()
+
+			env2, tb2 := hcaPair(d)
+			srv2, cl2 := nfs.MountTCP(env2, tb2.B[0], tb2.A[0], ipoib.Connected)
+			rc.Add(float64(th), iozone(srv2, cl2, env2, th))
+			env2.Shutdown()
+
+			env3, tb3 := hcaPair(d)
+			srv3, cl3 := nfs.MountTCP(env3, tb3.B[0], tb3.A[0], ipoib.Datagram)
+			ud.Add(float64(th), iozone(srv3, cl3, env3, th))
+			env3.Shutdown()
+		}
+		out = append(out, t)
+	}
+	return out
+}

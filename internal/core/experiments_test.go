@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick exercises every experiment generator end to end
+// in Quick mode and sanity-checks the output tables.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	opt := Options{Quick: true}
+	for _, id := range ExperimentIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tabs := Run(id, opt)
+			if len(tabs) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tab := range tabs {
+				if tab.Title == "" {
+					t.Errorf("%s: table without title", id)
+				}
+				if len(tab.Series) == 0 {
+					t.Errorf("%s: table %q has no series", id, tab.Title)
+				}
+				for _, s := range tab.Series {
+					if len(s.Y) == 0 {
+						t.Errorf("%s: series %q empty", id, s.Label)
+					}
+					for _, y := range s.Y {
+						if y < 0 {
+							t.Errorf("%s: series %q has negative value %v", id, s.Label, y)
+						}
+					}
+					if s.Max() <= 0 && !strings.Contains(tab.Title, "Table 1") {
+						t.Errorf("%s: series %q all-zero", id, s.Label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuickShapesHold spot-checks that the headline orderings survive even
+// the coarse Quick sweeps.
+func TestQuickShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks skipped in -short mode")
+	}
+	opt := Options{Quick: true}
+
+	// Fig5: at 1 ms delay, the largest size must far exceed the middle
+	// size (RC window collapse).
+	fig5 := Run("fig5", opt)[0]
+	var far *seriesRef
+	for _, s := range fig5.Series {
+		if strings.Contains(s.Label, "1000us") {
+			far = &seriesRef{s.X, s.Y}
+		}
+	}
+	if far == nil {
+		t.Fatal("fig5 missing 1000us series")
+	}
+	if far.Y[len(far.Y)-1] < 3*far.Y[len(far.Y)/2] {
+		t.Errorf("fig5 quick: large/medium at 1ms = %v / %v, want >3x",
+			far.Y[len(far.Y)-1], far.Y[len(far.Y)/2])
+	}
+
+	// Fig13(c): IPoIB-RC above RDMA at 1 ms.
+	tabs := Run("fig13", opt)
+	c := tabs[len(tabs)-1]
+	var rdma, rc float64
+	for _, s := range c.Series {
+		switch s.Label {
+		case "RDMA":
+			rdma = s.Max()
+		case "IPoIB-RC":
+			rc = s.Max()
+		}
+	}
+	if rc <= rdma {
+		t.Errorf("fig13(c) quick: IPoIB-RC %v not above RDMA %v at 1ms", rc, rdma)
+	}
+}
+
+type seriesRef struct {
+	X, Y []float64
+}

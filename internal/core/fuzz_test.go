@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoalesce exercises the carrier parser against arbitrary bytes: it
+// must never panic, and valid carriers must round-trip.
+func FuzzDecoalesce(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 42})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add(bytes.Repeat([]byte{0}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := Decoalesce(data)
+		if err != nil {
+			return
+		}
+		// Valid parse: re-encoding through a coalescer frame must
+		// reproduce the input.
+		var rebuilt []byte
+		for _, m := range msgs {
+			var hdr [4]byte
+			hdr[0] = byte(len(m))
+			hdr[1] = byte(len(m) >> 8)
+			hdr[2] = byte(len(m) >> 16)
+			hdr[3] = byte(len(m) >> 24)
+			rebuilt = append(rebuilt, hdr[:]...)
+			rebuilt = append(rebuilt, m...)
+		}
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("round trip mismatch: %v -> %v", data, rebuilt)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Device is anything attached to the fabric: an HCA end node or a switch.
+type Device interface {
+	Name() string
+	LID() LID
+	ports() []*Port
+	attach(p *Port)
+	setLID(l LID)
+	// receive is invoked when a packet arrives on one of the device's
+	// ports (after link propagation, before device processing delay).
+	receive(pkt *packet, on *Port)
+	// routeTo returns the egress port toward the destination LID.
+	routeTo(dst LID) *Port
+	setRoute(dst LID, p *Port)
+	fabric() *Fabric
+}
+
+// Fabric is an InfiniBand subnet: devices, links, LID assignment and
+// routing. It plays the role of the subnet manager.
+type Fabric struct {
+	env      *sim.Env
+	devices  []Device
+	byLID    map[LID]Device
+	nextLID  LID
+	nextQPN  int
+	nextMsg  int64
+	nextMRID int
+	routed   bool
+	tracer   Tracer
+}
+
+// NewFabric creates an empty fabric on the given simulation environment.
+func NewFabric(env *sim.Env) *Fabric {
+	return &Fabric{env: env, byLID: make(map[LID]Device), nextLID: 1, nextQPN: 1}
+}
+
+// Env returns the simulation environment of the fabric.
+func (f *Fabric) Env() *sim.Env { return f.env }
+
+func (f *Fabric) addDevice(d Device) {
+	d.setLID(f.nextLID)
+	f.byLID[f.nextLID] = d
+	f.nextLID++
+	f.devices = append(f.devices, d)
+	f.routed = false
+}
+
+// AddHCA creates a host channel adapter end node.
+func (f *Fabric) AddHCA(name string) *HCA {
+	h := &HCA{fab: f, name: name, qps: make(map[int]*QP), mrs: make(map[int]*MR)}
+	f.addDevice(h)
+	return h
+}
+
+// AddSwitch creates a switch with the given forwarding latency (use
+// ib.SwitchDelay for a normal cluster switch).
+func (f *Fabric) AddSwitch(name string, forwardDelay sim.Time) *Switch {
+	s := &Switch{fab: f, name: name, fwd: forwardDelay, routes: make(map[LID]*Port)}
+	f.addDevice(s)
+	return s
+}
+
+// Connect joins two devices with a full-duplex link of the given data rate
+// and one-way propagation delay, returning the link so callers (e.g. the
+// WAN layer) can later adjust the delay.
+func (f *Fabric) Connect(a, b Device, rate Rate, prop sim.Time) *Link {
+	l := &Link{env: f.env, rate: rate, prop: prop}
+	pa := &Port{env: f.env, dev: a, link: l}
+	pb := &Port{env: f.env, dev: b, link: l}
+	pa.peer, pb.peer = pb, pa
+	l.a, l.b = pa, pb
+	a.attach(pa)
+	b.attach(pb)
+	f.routed = false
+	return l
+}
+
+// Finalize computes routing tables (shortest path by hop count, BFS) for
+// every device toward every LID. It must be called after topology changes
+// and before traffic flows; CreateRC/CreateUD call it implicitly.
+func (f *Fabric) Finalize() {
+	for _, src := range f.devices {
+		// BFS from src over the device graph recording first hop.
+		type hop struct {
+			dev   Device
+			first *Port
+		}
+		visited := map[Device]bool{src: true}
+		var frontier []hop
+		for _, p := range src.ports() {
+			if p.peer == nil {
+				continue
+			}
+			nb := p.peer.dev
+			if !visited[nb] {
+				visited[nb] = true
+				src.setRoute(nb.LID(), p)
+				frontier = append(frontier, hop{nb, p})
+			}
+		}
+		for len(frontier) > 0 {
+			var next []hop
+			for _, h := range frontier {
+				for _, p := range h.dev.ports() {
+					if p.peer == nil {
+						continue
+					}
+					nb := p.peer.dev
+					if !visited[nb] {
+						visited[nb] = true
+						src.setRoute(nb.LID(), h.first)
+						next = append(next, hop{nb, h.first})
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	f.routed = true
+}
+
+func (f *Fabric) ensureRouted() {
+	if !f.routed {
+		f.Finalize()
+	}
+}
+
+// DeviceByLID returns the device owning the LID (nil if unassigned).
+func (f *Fabric) DeviceByLID(l LID) Device { return f.byLID[l] }
+
+// Link is a full-duplex point-to-point cable between two ports. Each
+// direction serializes packets at the link rate and delivers them after the
+// propagation delay.
+type Link struct {
+	env  *sim.Env
+	rate Rate
+	prop sim.Time
+	a, b *Port
+	// DropFn, when non-nil, is consulted for every packet; returning true
+	// drops the packet on the wire (fault injection).
+	DropFn func(wireBytes int) bool
+	// drops counts packets removed by DropFn.
+	drops int64
+}
+
+// SetDelay changes the one-way propagation delay (the Obsidian Longbow
+// delay knob).
+func (l *Link) SetDelay(d sim.Time) {
+	if d < 0 {
+		panic("ib: negative link delay")
+	}
+	l.prop = d
+}
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.prop }
+
+// Rate returns the link data rate.
+func (l *Link) Rate() Rate { return l.rate }
+
+// Drops returns the number of packets dropped by fault injection.
+func (l *Link) Drops() int64 { return l.drops }
+
+// TxTotal returns the total wire bytes carried in both directions.
+func (l *Link) TxTotal() int64 { return l.a.txBytes + l.b.txBytes }
+
+// Port is one link endpoint on a device. Transmission is modeled with a
+// busy-until horizon: each packet occupies the egress for wireBytes/rate and
+// arrives at the peer one propagation delay after its serialization ends.
+type Port struct {
+	env       *sim.Env
+	dev       Device
+	link      *Link
+	peer      *Port
+	busyUntil sim.Time
+	txBytes   int64
+	txPkts    int64
+}
+
+// send serializes pkt onto the link toward the peer port.
+func (p *Port) send(pkt *packet) {
+	now := p.env.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	ser := sim.Time(float64(pkt.wire) / float64(p.link.rate) * 1e9)
+	depart := start + ser
+	p.busyUntil = depart
+	p.txBytes += int64(pkt.wire)
+	p.txPkts++
+	fab := p.dev.fabric()
+	fab.trace("tx", p.dev, pkt)
+	if p.link.DropFn != nil && p.link.DropFn(pkt.wire) {
+		p.link.drops++
+		fab.trace("drop", p.dev, pkt)
+		return
+	}
+	arrive := depart + p.link.prop
+	peer := p.peer
+	p.env.At(arrive-now, func() { peer.dev.receive(pkt, peer) })
+}
+
+// TxBytes returns the total wire bytes transmitted from this port.
+func (p *Port) TxBytes() int64 { return p.txBytes }
+
+// Switch is an IB switch (or, with a larger forwarding delay, an Obsidian
+// Longbow WAN extender operating in switch mode).
+type Switch struct {
+	fab    *Fabric
+	name   string
+	lid    LID
+	fwd    sim.Time
+	plist  []*Port
+	routes map[LID]*Port
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// LID returns the switch's local identifier.
+func (s *Switch) LID() LID { return s.lid }
+
+func (s *Switch) ports() []*Port          { return s.plist }
+func (s *Switch) attach(p *Port)          { s.plist = append(s.plist, p) }
+func (s *Switch) setLID(l LID)            { s.lid = l }
+func (s *Switch) routeTo(dst LID) *Port   { return s.routes[dst] }
+func (s *Switch) setRoute(d LID, p *Port) { s.routes[d] = p }
+func (s *Switch) fabric() *Fabric         { return s.fab }
+
+func (s *Switch) receive(pkt *packet, on *Port) {
+	out := s.routes[pkt.dst]
+	if out == nil {
+		panic(fmt.Sprintf("ib: switch %s has no route to LID %d", s.name, pkt.dst))
+	}
+	s.fab.env.At(s.fwd, func() { out.send(pkt) })
+}

@@ -1,0 +1,103 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// HCA is a host channel adapter: a single-ported end node owning queue
+// pairs and registered memory regions.
+type HCA struct {
+	fab   *Fabric
+	name  string
+	lid   LID
+	port  *Port
+	route *Port // single port: route to everything
+	qps   map[int]*QP
+	mrs   map[int]*MR
+}
+
+// Name returns the HCA name.
+func (h *HCA) Name() string { return h.name }
+
+// LID returns the HCA's local identifier.
+func (h *HCA) LID() LID { return h.lid }
+
+// Fabric returns the owning fabric.
+func (h *HCA) Fabric() *Fabric { return h.fab }
+
+// Env returns the simulation environment.
+func (h *HCA) Env() *sim.Env { return h.fab.env }
+
+func (h *HCA) ports() []*Port {
+	if h.port == nil {
+		return nil
+	}
+	return []*Port{h.port}
+}
+
+func (h *HCA) attach(p *Port) {
+	if h.port != nil {
+		panic(fmt.Sprintf("ib: HCA %s already has a port", h.name))
+	}
+	h.port = p
+	h.route = p
+}
+
+func (h *HCA) setLID(l LID)            { h.lid = l }
+func (h *HCA) routeTo(dst LID) *Port   { return h.route }
+func (h *HCA) setRoute(d LID, p *Port) { h.route = p }
+func (h *HCA) fabric() *Fabric         { return h.fab }
+
+// Port returns the HCA's single port (nil before Connect).
+func (h *HCA) FabricPort() *Port { return h.port }
+
+func (h *HCA) receive(pkt *packet, on *Port) {
+	h.fab.trace("rx", h, pkt)
+	qp := h.qps[pkt.dstQP]
+	if qp == nil {
+		panic(fmt.Sprintf("ib: HCA %s: packet for unknown QP %d", h.name, pkt.dstQP))
+	}
+	// Per-packet HCA processing is a pipeline latency stage.
+	h.fab.env.At(PacketProc, func() { qp.receive(pkt) })
+}
+
+// RegisterMR registers buf as an RDMA-accessible memory region and returns
+// the region handle (which doubles as the rkey a peer must present).
+func (h *HCA) RegisterMR(buf []byte) *MR {
+	h.fab.nextMRID++
+	mr := &MR{id: h.fab.nextMRID, hca: h, Buf: buf}
+	h.mrs[mr.id] = mr
+	return mr
+}
+
+// RegisterVirtualMR registers a region with a size but no backing memory:
+// RDMA operations against it are fully simulated on the wire but carry no
+// payload bytes. Perf-only traffic uses virtual regions to avoid allocating
+// and copying gigabytes of synthetic payload.
+func (h *HCA) RegisterVirtualMR(n int) *MR {
+	h.fab.nextMRID++
+	mr := &MR{id: h.fab.nextMRID, hca: h, virtualLen: n}
+	h.mrs[mr.id] = mr
+	return mr
+}
+
+// MR is a registered memory region on an HCA.
+type MR struct {
+	id         int
+	hca        *HCA
+	Buf        []byte
+	virtualLen int // size of a virtual (unbacked) region
+}
+
+// RKey returns the remote key identifying the region.
+func (m *MR) RKey() int { return m.id }
+
+// Len returns the region size in bytes.
+func (m *MR) Len() int {
+	if m.Buf == nil {
+		return m.virtualLen
+	}
+	return len(m.Buf)
+}

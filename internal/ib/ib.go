@@ -1,0 +1,134 @@
+// Package ib implements a packet-level discrete-event model of an
+// InfiniBand fabric: host channel adapters (HCAs), switches, links, queue
+// pairs with Reliable Connected (RC) and Unreliable Datagram (UD)
+// transports, and a verbs-style API (send/recv, RDMA read/write, completion
+// queues).
+//
+// The model reproduces the protocol mechanisms that govern the behaviour
+// measured in the paper "Performance of HPC Middleware over InfiniBand WAN"
+// (Narravula et al., OSU 2008):
+//
+//   - RC guarantees reliable in-order delivery with ACKs and bounds the
+//     number of in-flight (unacknowledged) messages per QP, so its
+//     throughput for small and medium messages collapses as the
+//     bandwidth-delay product of a WAN link grows (paper Fig. 5).
+//   - UD is open-loop: single-MTU datagrams with no acknowledgements, so
+//     its throughput is independent of WAN delay (paper Fig. 4).
+//   - RDMA operations complete without consuming receive work requests,
+//     giving slightly lower small-message latency than channel semantics
+//     (paper Fig. 3) and zero-copy transfers for upper layers (MPI
+//     rendezvous, NFS/RDMA).
+//
+// Wire-level constants are calibrated against the paper's testbed: 2 KB
+// MTU, DDR (16 Gbit/s data) intra-cluster links and an SDR (8 Gbit/s data)
+// WAN hop through the Obsidian Longbow pair.
+package ib
+
+import "repro/internal/sim"
+
+// LID is an InfiniBand local identifier, assigned by the fabric (acting as
+// subnet manager) to every end port and switch.
+type LID int
+
+// Rate is a link data rate in bytes per second (after 8b/10b coding).
+type Rate float64
+
+// Standard InfiniBand link data rates (4x widths).
+const (
+	SDR Rate = 1e9 // 8 Gbit/s data -> 1000 MillionBytes/s
+	DDR Rate = 2e9 // 16 Gbit/s data
+	QDR Rate = 4e9 // 32 Gbit/s data
+)
+
+// Fabric-wide constants calibrated to the paper's testbed (see DESIGN.md).
+const (
+	// MTU is the InfiniBand path MTU in bytes. The paper's clusters use
+	// 2 KB; UD messages are limited to a single MTU.
+	MTU = 2048
+
+	// HeaderRC is the per-packet wire overhead for RC packets
+	// (LRH + BTH + CRCs). With a full 2048 B payload this puts the peak
+	// RC goodput at ~985 MillionBytes/s on an SDR WAN hop, matching the
+	// paper's ~980.
+	HeaderRC = 26
+
+	// HeaderUD is the per-packet wire overhead for UD packets
+	// (LRH + BTH + DETH + GRH + CRCs). Peak UD goodput on SDR is then
+	// ~968 MillionBytes/s, matching the paper's 967.
+	HeaderUD = 68
+
+	// AckBytes is the wire size of an RC acknowledgement packet.
+	AckBytes = 30
+
+	// ReadReqBytes is the wire size of an RDMA read request packet.
+	ReadReqBytes = 42
+)
+
+// Default timing constants. These model host/HCA software and hardware
+// overheads and are chosen so that the paper's Figure 3 latencies hold:
+// back-to-back DDR RC send/recv ~1.3 us, and the Longbow pair adding ~5 us.
+const (
+	// SendOverhead is the sender-side cost of posting and launching one
+	// work request (software post + doorbell + WQE fetch).
+	SendOverhead = 600 * sim.Nanosecond
+
+	// RecvOverheadSR is the receiver-side cost of consuming a receive WQE
+	// and generating a completion for channel semantics (send/recv).
+	RecvOverheadSR = 550 * sim.Nanosecond
+
+	// RecvOverheadRDMA is the receiver-side cost of landing an RDMA
+	// write; cheaper than channel semantics because no receive WQE is
+	// consumed and no remote completion is raised.
+	RecvOverheadRDMA = 200 * sim.Nanosecond
+
+	// PacketProc is the per-packet HCA processing latency. It is a
+	// pipeline stage, not a throughput limit: packets stream through at
+	// wire rate.
+	PacketProc = 100 * sim.Nanosecond
+
+	// SwitchDelay is the forwarding latency of a regular IB switch.
+	SwitchDelay = 200 * sim.Nanosecond
+
+	// DefaultCableDelay is the propagation delay of a machine-room cable
+	// (a few meters of copper).
+	DefaultCableDelay = 25 * sim.Nanosecond
+)
+
+// Opcode identifies the operation of a work request or completion.
+type Opcode int
+
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpRDMAWrite
+	OpRDMARead
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMARead:
+		return "RDMA_READ"
+	}
+	return "UNKNOWN"
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+const (
+	StatusOK Status = iota
+	StatusDropped
+)
+
+func (s Status) String() string {
+	if s == StatusOK {
+		return "OK"
+	}
+	return "DROPPED"
+}

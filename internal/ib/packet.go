@@ -1,0 +1,48 @@
+package ib
+
+type pktKind int
+
+const (
+	pktData pktKind = iota
+	pktAck
+	pktReadReq
+	pktReadResp
+)
+
+// packet is a wire packet. Payload bytes are not carried per packet; the
+// sender-side transfer context (msg) holds the data, which the responder
+// materializes when the last packet of the transfer lands. This is valid
+// because RC paths are FIFO and delivery is in order.
+type packet struct {
+	src, dst     LID
+	srcQP, dstQP int
+	kind         pktKind
+	wire         int // total bytes on the wire (header + payload share)
+	payload      int // payload bytes carried by this packet
+	msg          *transfer
+	seq          int // packet index within the transfer
+	last         bool
+}
+
+// transfer is the sender-side context of one message / RDMA operation in
+// flight on a QP.
+type transfer struct {
+	id     int64
+	wr     SendWR
+	size   int // payload length
+	origin *QP // QP that initiated the transfer
+	// qpSeq orders messages within one direction of a QP; the responder
+	// delivers strictly in this order, which preserves RC's in-order
+	// guarantee even when a retransmitted message arrives after its
+	// successors.
+	qpSeq   int64
+	acked   bool
+	retried int
+	// inbound reassembly progress (responder side)
+	got       int
+	delivered bool
+	// readData is the responder-side snapshot streamed back for RDMA read.
+	readData []byte
+	// data carried by a UD datagram (single packet).
+	udData []byte
+}

@@ -1,0 +1,286 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Transport selects the QP service type.
+type Transport int
+
+const (
+	// RC is Reliable Connected: in-order, acknowledged delivery of
+	// messages up to 2 GB, supporting both channel and memory (RDMA)
+	// semantics. In-flight unacknowledged messages are bounded by
+	// QPConfig.MaxInflight — the window whose interaction with WAN delay
+	// the paper studies.
+	RC Transport = iota
+	// UD is Unreliable Datagram: connectionless single-MTU messages with
+	// no acknowledgements and no RDMA support.
+	UD
+)
+
+func (t Transport) String() string {
+	if t == RC {
+		return "RC"
+	}
+	return "UD"
+}
+
+// QPConfig carries queue pair tuning knobs.
+type QPConfig struct {
+	Transport Transport
+	// MaxInflight bounds the number of in-flight (unacknowledged)
+	// messages on an RC QP; 0 selects DefaultMaxInflight. The paper
+	// explains RC's WAN bandwidth collapse for small/medium messages by
+	// exactly this bound ("limits the number of messages that can be in
+	// flight to a maximum supported window size", §3.2.2).
+	MaxInflight int
+	// RetryTimeout is the RC retransmission timeout; 0 selects
+	// DefaultRetryTimeout. Retransmission only occurs under fault
+	// injection (lossy Link.DropFn), as in real IB cables bit errors are
+	// rare.
+	RetryTimeout sim.Time
+}
+
+// DefaultMaxInflight is the default RC send window in messages, calibrated
+// so that the paper's Figure 5 knees reproduce (64 KB messages collapse at
+// 1000 us one-way delay while >=1 MB messages sustain wire rate).
+const DefaultMaxInflight = 8
+
+// DefaultRetryTimeout is the default RC retransmission timeout.
+const DefaultRetryTimeout = 500 * sim.Millisecond
+
+// SendWR is a send-side work request.
+type SendWR struct {
+	Op   Opcode
+	Data []byte // payload (nil for synthetic perf traffic)
+	Len  int    // payload length when Data is nil; ignored otherwise
+	// RDMA target (write: destination; read: source).
+	RemoteMR  *MR
+	RemoteOff int
+	// LocalBuf receives data for RDMA read.
+	LocalBuf []byte
+	// UD addressing (ignored for RC).
+	DestLID LID
+	DestQPN int
+	Ctx     any
+	// Meta is an opaque tag delivered to the receiver alongside the
+	// message (Completion.Meta). Upper-layer protocol models (IPoIB/TCP,
+	// RPC) use it to carry typed headers without byte marshaling; it has
+	// no wire footprint beyond Len/Data.
+	Meta any
+	// NotifyRemote, for RDMA writes, raises a completion on the remote CQ
+	// when the data lands, without consuming a receive WQE — modeling
+	// RDMA-write-with-immediate or the memory-polling used by
+	// ib_write_lat-style benchmarks.
+	NotifyRemote bool
+}
+
+func (wr *SendWR) payloadLen() int {
+	if wr.Data != nil {
+		return len(wr.Data)
+	}
+	return wr.Len
+}
+
+// RecvWR is a receive-side work request.
+type RecvWR struct {
+	Buf []byte // filled with message payload when non-nil
+	Ctx any
+}
+
+// Completion is a CQ entry.
+type Completion struct {
+	Op     Opcode
+	Status Status
+	Bytes  int
+	Ctx    any
+	QPN    int
+	SrcQPN int // for receives: originating QP
+	SrcLID LID // for receives: originating HCA
+	// Meta is the sender's SendWR.Meta tag (receive completions only).
+	Meta any
+}
+
+// CQ is a completion queue processes can block on.
+type CQ struct {
+	env     *sim.Env
+	items   []Completion
+	waiters []*sim.Event
+}
+
+// NewCQ creates a completion queue.
+func NewCQ(env *sim.Env) *CQ { return &CQ{env: env} }
+
+func (c *CQ) post(comp Completion) {
+	c.items = append(c.items, comp)
+	if len(c.waiters) > 0 {
+		ev := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		ev.Trigger(nil)
+	}
+}
+
+// Poll blocks the calling process until a completion is available and
+// returns it.
+func (c *CQ) Poll(p *sim.Proc) Completion {
+	for len(c.items) == 0 {
+		ev := c.env.NewEvent()
+		c.waiters = append(c.waiters, ev)
+		p.Wait(ev)
+	}
+	comp := c.items[0]
+	c.items = c.items[1:]
+	return comp
+}
+
+// TryPoll returns a completion if one is pending.
+func (c *CQ) TryPoll() (Completion, bool) {
+	if len(c.items) == 0 {
+		return Completion{}, false
+	}
+	comp := c.items[0]
+	c.items = c.items[1:]
+	return comp, true
+}
+
+// Len returns the number of pending completions.
+func (c *CQ) Len() int { return len(c.items) }
+
+// Stats counts per-QP protocol events.
+type Stats struct {
+	MsgsSent     int64
+	BytesSent    int64
+	MsgsRecv     int64
+	BytesRecv    int64
+	Acks         int64
+	RNRBuffered  int64 // sends that arrived before a recv was posted
+	RecvDrops    int64 // UD datagrams dropped for lack of a recv
+	Retransmits  int64
+	ReadRequests int64
+}
+
+// QP is a queue pair.
+type QP struct {
+	hca *HCA
+	qpn int
+	cfg QPConfig
+	cq  *CQ
+
+	// RC connection state.
+	remote *QP
+
+	// Sender state.
+	sendQ    []*transfer
+	inflight map[int64]*transfer
+	seqTx    int64 // next message sequence to assign (this direction)
+
+	// Receiver state.
+	recvQ   []RecvWR
+	pending []*transfer // completed inbound sends waiting for a recv WQE
+	seqRx   int64       // next message sequence to deliver
+	reorder map[int64]*transfer
+
+	stats Stats
+}
+
+// CreateQP creates a queue pair on the HCA bound to the given completion
+// queue. RC QPs must be connected with ConnectRC before use.
+func (h *HCA) CreateQP(cq *CQ, cfg QPConfig) *QP {
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	h.fab.nextQPN++
+	qp := &QP{hca: h, qpn: h.fab.nextQPN, cfg: cfg, cq: cq,
+		inflight: make(map[int64]*transfer), reorder: make(map[int64]*transfer)}
+	h.qps[qp.qpn] = qp
+	return qp
+}
+
+// ConnectRC connects two RC QPs (one on each HCA) as a reliable connection.
+func ConnectRC(a, b *QP) {
+	if a.cfg.Transport != RC || b.cfg.Transport != RC {
+		panic("ib: ConnectRC requires RC QPs")
+	}
+	a.remote, b.remote = b, a
+	a.hca.fab.ensureRouted()
+}
+
+// CreateRCPair is a convenience: create and connect an RC QP pair between
+// two HCAs, each bound to its own new CQ when cqa/cqb are nil.
+func CreateRCPair(a, b *HCA, cqa, cqb *CQ, cfg QPConfig) (*QP, *QP) {
+	cfg.Transport = RC
+	if cqa == nil {
+		cqa = NewCQ(a.Env())
+	}
+	if cqb == nil {
+		cqb = NewCQ(b.Env())
+	}
+	qa := a.CreateQP(cqa, cfg)
+	qb := b.CreateQP(cqb, cfg)
+	ConnectRC(qa, qb)
+	return qa, qb
+}
+
+// QPN returns the queue pair number.
+func (q *QP) QPN() int { return q.qpn }
+
+// HCA returns the owning HCA.
+func (q *QP) HCA() *HCA { return q.hca }
+
+// CQ returns the completion queue.
+func (q *QP) CQ() *CQ { return q.cq }
+
+// Stats returns a snapshot of the QP's counters.
+func (q *QP) Stats() Stats { return q.stats }
+
+// Config returns the QP configuration.
+func (q *QP) Config() QPConfig { return q.cfg }
+
+// PostRecv posts a receive work request.
+func (q *QP) PostRecv(wr RecvWR) {
+	q.recvQ = append(q.recvQ, wr)
+	// Satisfy any buffered (RNR'd) sends in arrival order.
+	for len(q.pending) > 0 && len(q.recvQ) > 0 {
+		t := q.pending[0]
+		q.pending = q.pending[1:]
+		q.deliverSend(t)
+	}
+}
+
+// PostSend posts a send-side work request. The completion (on the QP's CQ)
+// is raised when the operation finishes: for RC, when acknowledged (send,
+// RDMA write) or when data lands (RDMA read); for UD, when the datagram has
+// left the HCA.
+func (q *QP) PostSend(wr SendWR) {
+	switch q.cfg.Transport {
+	case RC:
+		q.rcPostSend(wr)
+	case UD:
+		q.udPostSend(wr)
+	default:
+		panic("ib: unknown transport")
+	}
+}
+
+func (q *QP) receive(pkt *packet) {
+	switch q.cfg.Transport {
+	case RC:
+		q.rcReceive(pkt)
+	case UD:
+		q.udReceive(pkt)
+	}
+}
+
+func (q *QP) env() *sim.Env { return q.hca.fab.env }
+
+func (q *QP) assertConnected() {
+	if q.remote == nil {
+		panic(fmt.Sprintf("ib: QP %d (%s) is not connected", q.qpn, q.hca.name))
+	}
+}

@@ -1,0 +1,271 @@
+package ib
+
+import "fmt"
+
+// rcPostSend queues a work request on an RC QP and starts transmission if
+// the window allows.
+func (q *QP) rcPostSend(wr SendWR) {
+	q.assertConnected()
+	size := wr.payloadLen()
+	switch wr.Op {
+	case OpSend:
+	case OpRDMAWrite:
+		if wr.RemoteMR == nil {
+			panic("ib: RDMA write without RemoteMR")
+		}
+		if wr.RemoteOff+size > wr.RemoteMR.Len() {
+			panic(fmt.Sprintf("ib: RDMA write beyond MR bounds: off=%d len=%d mr=%d",
+				wr.RemoteOff, size, wr.RemoteMR.Len()))
+		}
+	case OpRDMARead:
+		if wr.RemoteMR == nil {
+			panic("ib: RDMA read without RemoteMR")
+		}
+		if wr.LocalBuf != nil && len(wr.LocalBuf) < size {
+			panic("ib: RDMA read local buffer too small")
+		}
+		if wr.RemoteOff+size > wr.RemoteMR.Len() {
+			panic("ib: RDMA read beyond MR bounds")
+		}
+	default:
+		panic("ib: bad opcode for PostSend")
+	}
+	q.hca.fab.nextMsg++
+	t := &transfer{id: q.hca.fab.nextMsg, wr: wr, size: size, origin: q, qpSeq: -1}
+	if wr.Op != OpRDMARead {
+		// Sends and RDMA writes deliver at the responder in posted order.
+		// Read requests are served out of the sequence stream (their
+		// responses flow the other way), so they take no slot.
+		t.qpSeq = q.seqTx
+		q.seqTx++
+	}
+	q.sendQ = append(q.sendQ, t)
+	q.kick()
+}
+
+// kick launches queued transfers while the in-flight window has room.
+func (q *QP) kick() {
+	for len(q.inflight) < q.cfg.MaxInflight && len(q.sendQ) > 0 {
+		t := q.sendQ[0]
+		q.sendQ = q.sendQ[1:]
+		q.inflight[t.id] = t
+		q.launch(t, true)
+	}
+}
+
+// launch transmits all packets of a transfer. For RDMA read, a single
+// request packet is sent and the responder streams the data back.
+func (q *QP) launch(t *transfer, first bool) {
+	env := q.env()
+	env.At(SendOverhead, func() {
+		port := q.hca.routeTo(q.remote.hca.lid)
+		if t.wr.Op == OpRDMARead {
+			q.stats.ReadRequests++
+			port.send(&packet{
+				src: q.hca.lid, dst: q.remote.hca.lid,
+				srcQP: q.qpn, dstQP: q.remote.qpn,
+				kind: pktReadReq, wire: ReadReqBytes, msg: t, last: true,
+			})
+		} else {
+			q.sendDataPackets(port, q.remote, t, pktData)
+			q.stats.MsgsSent++
+			q.stats.BytesSent += int64(t.size)
+		}
+		if first || t.retried > 0 {
+			q.armRetry(t)
+		}
+	})
+}
+
+// sendDataPackets packetizes a transfer onto the wire toward dst.
+func (q *QP) sendDataPackets(port *Port, dst *QP, t *transfer, kind pktKind) {
+	n := (t.size + MTU - 1) / MTU
+	if n == 0 {
+		n = 1
+	}
+	remaining := t.size
+	for i := 0; i < n; i++ {
+		chunk := remaining
+		if chunk > MTU {
+			chunk = MTU
+		}
+		remaining -= chunk
+		port.send(&packet{
+			src: q.hca.lid, dst: dst.hca.lid,
+			srcQP: q.qpn, dstQP: dst.qpn,
+			kind: kind, wire: HeaderRC + chunk, payload: chunk,
+			msg: t, seq: i, last: i == n-1,
+		})
+	}
+}
+
+// armRetry schedules a retransmission if the transfer is not acknowledged
+// within the retry timeout. In a loss-free fabric this never fires.
+func (q *QP) armRetry(t *transfer) {
+	q.env().At(q.cfg.RetryTimeout, func() {
+		if t.acked {
+			return
+		}
+		if _, still := q.inflight[t.id]; !still {
+			return
+		}
+		t.retried++
+		q.stats.Retransmits++
+		q.launch(t, false)
+	})
+}
+
+// rcReceive handles an arriving RC packet.
+func (q *QP) rcReceive(pkt *packet) {
+	switch pkt.kind {
+	case pktData:
+		q.rcData(pkt, false)
+	case pktReadResp:
+		q.rcData(pkt, true)
+	case pktAck:
+		q.rcAck(pkt)
+	case pktReadReq:
+		q.rcReadReq(pkt)
+	}
+}
+
+// rcData reassembles inbound data packets; readResp marks RDMA read
+// response data flowing back to the requester.
+func (q *QP) rcData(pkt *packet, readResp bool) {
+	t := pkt.msg
+	if t.delivered {
+		// Duplicate from a retransmission whose original completed but
+		// whose ack was lost: re-acknowledge, do not redeliver.
+		if pkt.last && !readResp {
+			q.sendAck(t)
+		}
+		return
+	}
+	if pkt.seq == 0 {
+		t.got = pkt.payload
+	} else {
+		t.got += pkt.payload
+	}
+	if !pkt.last || t.got < t.size {
+		return
+	}
+	// Transfer complete at this end.
+	t.delivered = true
+	if readResp {
+		// Requester side of an RDMA read: land the data, complete the WR.
+		// (Read responses are transport-internal and not part of the
+		// forward message sequence.)
+		if t.wr.LocalBuf != nil && t.readData != nil {
+			copy(t.wr.LocalBuf, t.readData)
+		}
+		q.env().At(RecvOverheadRDMA, func() {
+			delete(q.inflight, t.id)
+			t.acked = true
+			q.cq.post(Completion{Op: OpRDMARead, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+			q.kick()
+		})
+		return
+	}
+	// Deliver strictly in message-sequence order. A message that overtook
+	// a retransmitted predecessor waits here, exactly as out-of-order
+	// packets are discarded and resent in order on a real RC connection.
+	if t.qpSeq != q.seqRx {
+		q.reorder[t.qpSeq] = t
+		return
+	}
+	q.deliverInOrder(t)
+	for {
+		next, ok := q.reorder[q.seqRx]
+		if !ok {
+			break
+		}
+		delete(q.reorder, q.seqRx)
+		q.deliverInOrder(next)
+	}
+}
+
+// deliverInOrder applies a completed inbound transfer's effects.
+func (q *QP) deliverInOrder(t *transfer) {
+	q.seqRx++
+	q.stats.MsgsRecv++
+	q.stats.BytesRecv += int64(t.size)
+	switch t.wr.Op {
+	case OpSend:
+		if len(q.recvQ) == 0 {
+			q.stats.RNRBuffered++
+			q.pending = append(q.pending, t)
+		} else {
+			q.deliverSend(t)
+		}
+		q.sendAck(t)
+	case OpRDMAWrite:
+		if t.wr.Data != nil && t.wr.RemoteMR.Buf != nil {
+			copy(t.wr.RemoteMR.Buf[t.wr.RemoteOff:], t.wr.Data)
+		}
+		q.env().At(RecvOverheadRDMA, func() {
+			q.sendAckNow(t)
+			if t.wr.NotifyRemote {
+				q.cq.post(Completion{Op: OpRDMAWrite, Status: StatusOK, Bytes: t.size,
+					QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+			}
+		})
+	}
+}
+
+// deliverSend consumes a receive WQE for a completed inbound send.
+func (q *QP) deliverSend(t *transfer) {
+	rwr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	if rwr.Buf != nil && t.wr.Data != nil {
+		copy(rwr.Buf, t.wr.Data)
+	}
+	q.env().At(RecvOverheadSR, func() {
+		q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+	})
+}
+
+// sendAck acknowledges a completed inbound transfer after the
+// channel-semantics receive overhead.
+func (q *QP) sendAck(t *transfer) {
+	q.env().At(RecvOverheadSR, func() { q.sendAckNow(t) })
+}
+
+func (q *QP) sendAckNow(t *transfer) {
+	q.stats.Acks++
+	port := q.hca.routeTo(q.remote.hca.lid)
+	port.send(&packet{
+		src: q.hca.lid, dst: q.remote.hca.lid,
+		srcQP: q.qpn, dstQP: q.remote.qpn,
+		kind: pktAck, wire: AckBytes, msg: t, last: true,
+	})
+}
+
+// rcAck completes the acknowledged transfer and slides the window.
+func (q *QP) rcAck(pkt *packet) {
+	t := pkt.msg
+	if t.acked {
+		return // duplicate ack after retransmission
+	}
+	t.acked = true
+	delete(q.inflight, t.id)
+	q.cq.post(Completion{Op: t.wr.Op, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	q.kick()
+}
+
+// rcReadReq serves an RDMA read: snapshot the region and stream it back as
+// read-response data.
+func (q *QP) rcReadReq(pkt *packet) {
+	t := pkt.msg
+	mr := t.wr.RemoteMR
+	if mr.hca != q.hca {
+		panic("ib: RDMA read targets MR on a different HCA")
+	}
+	if t.wr.LocalBuf != nil && mr.Buf != nil {
+		t.readData = make([]byte, t.size)
+		copy(t.readData, mr.Buf[t.wr.RemoteOff:t.wr.RemoteOff+t.size])
+	}
+	q.env().At(RecvOverheadRDMA, func() {
+		port := q.hca.routeTo(q.remote.hca.lid)
+		q.sendDataPackets(port, q.remote, t, pktReadResp)
+	})
+}

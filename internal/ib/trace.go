@@ -1,0 +1,93 @@
+package ib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TraceEvent describes one wire-level event on the fabric. Events are
+// emitted at packet departure (tx), packet arrival at its destination
+// device (rx), and fault-injected drops.
+type TraceEvent struct {
+	Time  sim.Time `json:"t"`
+	Kind  string   `json:"kind"` // tx, rx, drop
+	Src   LID      `json:"src"`
+	Dst   LID      `json:"dst"`
+	SrcQP int      `json:"srcqp"`
+	DstQP int      `json:"dstqp"`
+	Pkt   string   `json:"pkt"` // data, ack, readreq, readresp
+	Wire  int      `json:"wire"`
+	Seq   int      `json:"seq"`
+	// Msg is the fabric-unique transfer id the packet belongs to.
+	Msg  int64 `json:"msg"`
+	Last bool  `json:"last"`
+	// Dev is the device observing the event (tx: sending device; rx:
+	// receiving device).
+	Dev string `json:"dev"`
+}
+
+// Tracer consumes trace events; it must not mutate simulation state.
+type Tracer func(ev TraceEvent)
+
+// SetTracer installs (or, with nil, removes) a fabric-wide tracer.
+func (f *Fabric) SetTracer(t Tracer) { f.tracer = t }
+
+func (k pktKind) String() string {
+	switch k {
+	case pktData:
+		return "data"
+	case pktAck:
+		return "ack"
+	case pktReadReq:
+		return "readreq"
+	case pktReadResp:
+		return "readresp"
+	}
+	return "unknown"
+}
+
+func (f *Fabric) trace(kind string, dev Device, pkt *packet) {
+	if f.tracer == nil {
+		return
+	}
+	f.tracer(TraceEvent{
+		Time: f.env.Now(), Kind: kind,
+		Src: pkt.src, Dst: pkt.dst, SrcQP: pkt.srcQP, DstQP: pkt.dstQP,
+		Pkt: pkt.kind.String(), Wire: pkt.wire, Seq: pkt.seq, Msg: pkt.msg.id, Last: pkt.last,
+		Dev: dev.Name(),
+	})
+}
+
+// JSONLTracer returns a Tracer that writes one JSON object per line to w.
+func JSONLTracer(w io.Writer) Tracer {
+	enc := json.NewEncoder(w)
+	return func(ev TraceEvent) {
+		if err := enc.Encode(ev); err != nil {
+			panic(fmt.Sprintf("ib: trace write: %v", err))
+		}
+	}
+}
+
+// CountingTracer tallies events by kind, for tests and quick accounting.
+type CountingTracer struct {
+	Tx, Rx, Drops int64
+	WireBytes     int64
+}
+
+// Hook returns the Tracer function feeding the counters.
+func (c *CountingTracer) Hook() Tracer {
+	return func(ev TraceEvent) {
+		switch ev.Kind {
+		case "tx":
+			c.Tx++
+			c.WireBytes += int64(ev.Wire)
+		case "rx":
+			c.Rx++
+		case "drop":
+			c.Drops++
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package ib
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCountingTracer(t *testing.T) {
+	env, _, a, b, _ := backToBack(t)
+	var ct CountingTracer
+	a.Fabric().SetTracer(ct.Hook())
+	qa, qb := CreateRCPair(a, b, nil, nil, QPConfig{})
+	env.Go("recv", func(p *sim.Proc) {
+		qb.PostRecv(RecvWR{})
+		qb.CQ().Poll(p)
+	})
+	env.Go("send", func(p *sim.Proc) {
+		qa.PostSend(SendWR{Op: OpSend, Len: 5000})
+		qa.CQ().Poll(p)
+	})
+	env.Run()
+	// 3 data packets + 1 ack, each tx'd once and rx'd once; no drops.
+	if ct.Tx != 4 || ct.Rx != 4 || ct.Drops != 0 {
+		t.Errorf("tracer counts tx=%d rx=%d drops=%d, want 4/4/0", ct.Tx, ct.Rx, ct.Drops)
+	}
+	wantWire := int64(5000 + 3*HeaderRC + AckBytes)
+	if ct.WireBytes != wantWire {
+		t.Errorf("wire bytes = %d, want %d", ct.WireBytes, wantWire)
+	}
+}
+
+func TestTracerSeesDrops(t *testing.T) {
+	env, _, a, b, l := backToBack(t)
+	var ct CountingTracer
+	a.Fabric().SetTracer(ct.Hook())
+	n := 0
+	l.DropFn = func(int) bool { n++; return n == 1 }
+	qa, qb := CreateRCPair(a, b, nil, nil, QPConfig{RetryTimeout: 50 * sim.Microsecond})
+	env.Go("recv", func(p *sim.Proc) {
+		qb.PostRecv(RecvWR{})
+		qb.CQ().Poll(p)
+	})
+	env.Go("send", func(p *sim.Proc) {
+		qa.PostSend(SendWR{Op: OpSend, Len: 64})
+		qa.CQ().Poll(p)
+	})
+	env.Run()
+	if ct.Drops != 1 {
+		t.Errorf("drops = %d, want 1", ct.Drops)
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	env, _, a, b, _ := backToBack(t)
+	var buf bytes.Buffer
+	a.Fabric().SetTracer(JSONLTracer(&buf))
+	qa, qb := CreateRCPair(a, b, nil, nil, QPConfig{})
+	env.Go("recv", func(p *sim.Proc) {
+		qb.PostRecv(RecvWR{})
+		qb.CQ().Poll(p)
+	})
+	env.Go("send", func(p *sim.Proc) {
+		qa.PostSend(SendWR{Op: OpSend, Len: 100})
+		qa.CQ().Poll(p)
+	})
+	env.Run()
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	kinds := map[string]int{}
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		kinds[ev.Kind]++
+		lines++
+		if ev.Pkt == "unknown" {
+			t.Errorf("unknown packet kind in trace")
+		}
+	}
+	if lines != 4 { // data tx+rx, ack tx+rx
+		t.Errorf("trace lines = %d, want 4", lines)
+	}
+	if kinds["tx"] != 2 || kinds["rx"] != 2 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestTracerOffByDefault(t *testing.T) {
+	env, _, a, b, _ := backToBack(t)
+	_ = a
+	qa, qb := CreateRCPair(a, b, nil, nil, QPConfig{})
+	env.Go("recv", func(p *sim.Proc) {
+		qb.PostRecv(RecvWR{})
+		qb.CQ().Poll(p)
+	})
+	env.Go("send", func(p *sim.Proc) {
+		qa.PostSend(SendWR{Op: OpSend, Len: 64})
+		qa.CQ().Poll(p)
+	})
+	env.Run() // must simply not panic with no tracer installed
+}
+
+func TestPktKindStrings(t *testing.T) {
+	for k, want := range map[pktKind]string{
+		pktData: "data", pktAck: "ack", pktReadReq: "readreq", pktReadResp: "readresp",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", int(k), got)
+		}
+	}
+	if !strings.Contains(pktKind(99).String(), "unknown") {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,61 @@
+package ib
+
+import "fmt"
+
+// MaxUDPayload is the largest UD message: a single MTU.
+const MaxUDPayload = MTU
+
+// udPostSend transmits a datagram. UD is open-loop: the send completes as
+// soon as the datagram has left the HCA, and no acknowledgement ever flows
+// back — which is why UD throughput is independent of WAN delay (paper
+// Fig. 4).
+func (q *QP) udPostSend(wr SendWR) {
+	if wr.Op != OpSend {
+		panic("ib: UD supports only send/recv semantics")
+	}
+	size := wr.payloadLen()
+	if size > MaxUDPayload {
+		panic(fmt.Sprintf("ib: UD message %d exceeds MTU %d", size, MaxUDPayload))
+	}
+	if wr.DestLID == 0 {
+		panic("ib: UD send requires DestLID/DestQPN")
+	}
+	q.hca.fab.ensureRouted()
+	q.hca.fab.nextMsg++
+	t := &transfer{id: q.hca.fab.nextMsg, wr: wr, size: size, origin: q, udData: wr.Data}
+	env := q.env()
+	env.At(SendOverhead, func() {
+		port := q.hca.routeTo(wr.DestLID)
+		if port == nil {
+			panic(fmt.Sprintf("ib: no route from %s to LID %d", q.hca.name, wr.DestLID))
+		}
+		port.send(&packet{
+			src: q.hca.lid, dst: wr.DestLID,
+			srcQP: q.qpn, dstQP: wr.DestQPN,
+			kind: pktData, wire: HeaderUD + size, payload: size,
+			msg: t, last: true,
+		})
+		q.stats.MsgsSent++
+		q.stats.BytesSent += int64(size)
+		q.cq.post(Completion{Op: OpSend, Status: StatusOK, Bytes: size, Ctx: wr.Ctx, QPN: q.qpn})
+	})
+}
+
+// udReceive delivers a datagram into a posted receive, or drops it.
+func (q *QP) udReceive(pkt *packet) {
+	t := pkt.msg
+	if len(q.recvQ) == 0 {
+		q.stats.RecvDrops++
+		return
+	}
+	rwr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	if rwr.Buf != nil && t.udData != nil {
+		copy(rwr.Buf, t.udData)
+	}
+	q.stats.MsgsRecv++
+	q.stats.BytesRecv += int64(t.size)
+	q.env().At(RecvOverheadSR, func() {
+		q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+	})
+}

@@ -1,0 +1,135 @@
+package ipoib
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+type fakePkt struct{ id int }
+
+func twoDevs(t *testing.T, mode Mode, mtu int, delay sim.Time) (*sim.Env, *NetDev, *NetDev) {
+	t.Helper()
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
+	n := NewNetwork()
+	da := n.Attach(tb.A[0].HCA, mode, mtu)
+	db := n.Attach(tb.B[0].HCA, mode, mtu)
+	return env, da, db
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	env, da, db := twoDevs(t, Datagram, 0, 0)
+	var got []int
+	var lens []int
+	db.SetHandler(func(src ib.LID, payload any, length int) {
+		got = append(got, payload.(*fakePkt).id)
+		lens = append(lens, length)
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			da.Send(db.LID(), &fakePkt{id: i}, 1500)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d packets, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v", got)
+		}
+		if lens[i] != 1500 {
+			t.Fatalf("length = %d, want 1500", lens[i])
+		}
+	}
+}
+
+func TestConnectedDelivery(t *testing.T) {
+	env, da, db := twoDevs(t, Connected, 0, sim.Micros(100))
+	count := 0
+	db.SetHandler(func(src ib.LID, payload any, length int) {
+		count++
+		if length != 60000 {
+			t.Errorf("length = %d, want 60000", length)
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			da.Send(db.LID(), nil, 60000)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	if count != 3 {
+		t.Fatalf("delivered %d, want 3", count)
+	}
+	if da.TxPackets() != 3 || db.RxPackets() != 3 {
+		t.Errorf("counters tx=%d rx=%d", da.TxPackets(), db.RxPackets())
+	}
+}
+
+func TestDatagramMTULimit(t *testing.T) {
+	env, da, db := twoDevs(t, Datagram, 0, 0)
+	_ = env
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize datagram send did not panic")
+		}
+	}()
+	da.Send(db.LID(), nil, DatagramMTU+1)
+}
+
+func TestConnectedCustomMTU(t *testing.T) {
+	env, da, db := twoDevs(t, Connected, 16384, 0)
+	_ = env
+	if da.MTU() != 16384 {
+		t.Fatalf("MTU = %d", da.MTU())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send above configured MTU did not panic")
+		}
+	}()
+	da.Send(db.LID(), nil, 16385)
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	env, da, db := twoDevs(t, Datagram, 0, sim.Micros(10))
+	gotA, gotB := 0, 0
+	da.SetHandler(func(src ib.LID, payload any, length int) { gotA++ })
+	db.SetHandler(func(src ib.LID, payload any, length int) { gotB++ })
+	env.Go("a", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			da.Send(db.LID(), nil, 1000)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	env.Go("b", func(p *sim.Proc) {
+		for i := 0; i < 7; i++ {
+			db.Send(da.LID(), nil, 1000)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	if gotA != 7 || gotB != 10 {
+		t.Errorf("gotA=%d gotB=%d, want 7/10", gotA, gotB)
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1})
+	n := NewNetwork()
+	n.Attach(tb.A[0].HCA, Datagram, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	n.Attach(tb.A[0].HCA, Connected, 0)
+}

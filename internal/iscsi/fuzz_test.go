@@ -1,0 +1,18 @@
+package iscsi
+
+import "testing"
+
+// FuzzBHSRoundTrip checks the PDU header codec.
+func FuzzBHSRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint32(7), uint64(100), uint32(8), uint32(4096))
+	f.Fuzz(func(t *testing.T, op uint8, tag uint32, lba uint64, blocks, dlen uint32) {
+		b := marshalBHS(op, tag, lba, blocks, dlen)
+		if len(b) != bhsBytes {
+			t.Fatalf("BHS length %d", len(b))
+		}
+		go2, gt, gl, gb, gd := unmarshalBHS(b)
+		if go2 != op || gt != tag || gl != lba || gb != blocks || gd != dlen {
+			t.Fatal("BHS round trip mismatch")
+		}
+	})
+}

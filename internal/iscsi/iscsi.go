@@ -1,0 +1,253 @@
+// Package iscsi models an iSCSI initiator/target pair running over SDP —
+// the second workload the paper's related work (Prescott & Taylor) drives
+// across the Obsidian Longbows ("iSCSI over SDP/IB"). Block I/O over a WAN
+// behaves like NFS's close cousin: per-command round trips bound a single
+// queue-depth-1 stream, and command queueing (tagged commands in flight)
+// recovers throughput the same way parallel streams do for TCP.
+//
+// The protocol is a faithful miniature: login, SCSI READ/WRITE commands
+// with logical-block addressing, Data-In/Data-Out phases carried on the
+// SDP byte stream, and tagged command queueing.
+package iscsi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sdp"
+	"repro/internal/sim"
+)
+
+// Protocol constants.
+const (
+	// BlockSize is the logical block size.
+	BlockSize = 512
+	// bhsBytes is the basic header segment size of an iSCSI PDU.
+	bhsBytes = 48
+	// opLogin, opLoginResp... PDU opcodes (subset).
+	opLogin uint8 = iota
+	opLoginResp
+	opSCSIRead
+	opSCSIWrite
+	opDataIn
+	opDataOut
+	opResp
+)
+
+// pdu header layout: op(1) pad(3) tag(4) lba(8) blocks(4) dlen(4) = 24 used
+// of the 48-byte BHS.
+func marshalBHS(op uint8, tag uint32, lba uint64, blocks uint32, dlen uint32) []byte {
+	b := make([]byte, bhsBytes)
+	b[0] = op
+	binary.LittleEndian.PutUint32(b[4:], tag)
+	binary.LittleEndian.PutUint64(b[8:], lba)
+	binary.LittleEndian.PutUint32(b[16:], blocks)
+	binary.LittleEndian.PutUint32(b[20:], dlen)
+	return b
+}
+
+func unmarshalBHS(b []byte) (op uint8, tag uint32, lba uint64, blocks uint32, dlen uint32) {
+	return b[0], binary.LittleEndian.Uint32(b[4:]), binary.LittleEndian.Uint64(b[8:]),
+		binary.LittleEndian.Uint32(b[16:]), binary.LittleEndian.Uint32(b[20:])
+}
+
+// Target is an iSCSI target exporting one LUN.
+type Target struct {
+	node *cluster.Node
+	// lun is the backing store; nil data means a synthetic LUN of Blocks
+	// blocks (reads return zeros, writes are accounted).
+	data   []byte
+	blocks int64
+	// PerCmdCPU is the target-side fixed cost per SCSI command.
+	PerCmdCPU sim.Time
+	cmds      int64
+}
+
+// NewTarget exports a synthetic LUN with the given number of 512-byte
+// blocks on the node, listening on the SDP port.
+func NewTarget(node *cluster.Node, port int, blocks int64) *Target {
+	t := &Target{node: node, blocks: blocks, PerCmdCPU: 10 * sim.Microsecond}
+	ln := sdp.Listen(node, port)
+	env := node.HCA.Env()
+	env.Go("iscsi-target-accept", func(p *sim.Proc) {
+		for {
+			conn := ln.Accept(p)
+			t.serve(conn)
+		}
+	})
+	return t
+}
+
+// NewTargetWithData exports a LUN backed by real bytes.
+func NewTargetWithData(node *cluster.Node, port int, data []byte) *Target {
+	t := NewTarget(node, port, int64((len(data)+BlockSize-1)/BlockSize))
+	t.data = data
+	return t
+}
+
+// Commands reports how many SCSI commands the target has served.
+func (t *Target) Commands() int64 { return t.cmds }
+
+// serve handles one initiator session.
+func (t *Target) serve(conn *sdp.Conn) {
+	env := t.node.HCA.Env()
+	env.Go("iscsi-target-session", func(p *sim.Proc) {
+		for {
+			hdr := conn.ReadFull(p, bhsBytes)
+			op, tag, lba, blocks, dlen := unmarshalBHS(hdr)
+			switch op {
+			case opLogin:
+				conn.Write(p, marshalBHS(opLoginResp, tag, 0, 0, 0))
+			case opSCSIRead:
+				t.cmds++
+				t.node.CPU.Use(p, t.PerCmdCPU)
+				n := int(blocks) * BlockSize
+				if lba+uint64(blocks) > uint64(t.blocks) {
+					n = 0
+				}
+				conn.Write(p, marshalBHS(opDataIn, tag, lba, blocks, uint32(n)))
+				if n > 0 {
+					if t.data != nil {
+						off := int64(lba) * BlockSize
+						conn.Write(p, t.data[off:off+int64(n)])
+					} else {
+						conn.WriteSynthetic(p, n)
+					}
+				}
+			case opSCSIWrite:
+				t.cmds++
+				t.node.CPU.Use(p, t.PerCmdCPU)
+				if dlen > 0 {
+					payload := conn.ReadFull(p, int(dlen))
+					if t.data != nil {
+						off := int64(lba) * BlockSize
+						copy(t.data[off:], payload)
+					}
+				}
+				conn.Write(p, marshalBHS(opResp, tag, lba, blocks, 0))
+			default:
+				panic(fmt.Sprintf("iscsi: target got unexpected op %d", op))
+			}
+		}
+	})
+}
+
+// Initiator is an iSCSI initiator session with tagged command queueing.
+type Initiator struct {
+	conn    *sdp.Conn
+	nextTag uint32
+	pending map[uint32]*command
+	submit  *sim.Queue[*command]
+}
+
+type command struct {
+	tag   uint32
+	write bool
+	lba   uint64
+	nblk  uint32
+	wdata []byte // nil = synthetic
+	done  *sim.Event
+	rdata []byte
+	n     int
+}
+
+// Login opens a session to the target at (node, port) from the initiator
+// node and completes the login phase.
+func Login(p *sim.Proc, initiator *cluster.Node, target *cluster.Node, port int) *Initiator {
+	conn := sdp.Dial(p, initiator, target, port)
+	ini := &Initiator{
+		conn:    conn,
+		pending: make(map[uint32]*command),
+		submit:  sim.NewQueue[*command](initiator.HCA.Env(), 0),
+	}
+	conn.Write(p, marshalBHS(opLogin, 0, 0, 0, 0))
+	resp := conn.ReadFull(p, bhsBytes)
+	if op, _, _, _, _ := unmarshalBHS(resp); op != opLoginResp {
+		panic("iscsi: bad login response")
+	}
+	env := initiator.HCA.Env()
+	// Submission engine: serializes PDU writes onto the stream.
+	env.Go("iscsi-ini-tx", func(pw *sim.Proc) {
+		for {
+			cmd := ini.submit.Get(pw)
+			if cmd.write {
+				dlen := uint32(int(cmd.nblk) * BlockSize)
+				ini.conn.Write(pw, marshalBHS(opSCSIWrite, cmd.tag, cmd.lba, cmd.nblk, dlen))
+				if cmd.wdata != nil {
+					ini.conn.Write(pw, cmd.wdata)
+				} else {
+					ini.conn.WriteSynthetic(pw, int(dlen))
+				}
+			} else {
+				ini.conn.Write(pw, marshalBHS(opSCSIRead, cmd.tag, cmd.lba, cmd.nblk, 0))
+			}
+		}
+	})
+	// Response engine: demultiplexes by tag.
+	env.Go("iscsi-ini-rx", func(pr *sim.Proc) {
+		for {
+			hdr := ini.conn.ReadFull(pr, bhsBytes)
+			op, tag, _, _, dlen := unmarshalBHS(hdr)
+			cmd := ini.pending[tag]
+			if cmd == nil {
+				panic("iscsi: response for unknown tag")
+			}
+			delete(ini.pending, tag)
+			switch op {
+			case opDataIn:
+				if dlen > 0 {
+					data := ini.conn.ReadFull(pr, int(dlen))
+					cmd.rdata = data
+				}
+				cmd.n = int(dlen)
+			case opResp:
+				cmd.n = int(cmd.nblk) * BlockSize
+			}
+			cmd.done.Trigger(nil)
+		}
+	})
+	return ini
+}
+
+// Read issues a READ of nblk blocks at lba and blocks until Data-In
+// completes, returning the data (zeros for synthetic LUNs).
+func (i *Initiator) Read(p *sim.Proc, lba uint64, nblk uint32) ([]byte, int) {
+	cmd := i.issue(p, false, lba, nblk, nil)
+	p.Wait(cmd.done)
+	return cmd.rdata, cmd.n
+}
+
+// Write issues a WRITE of data (or nblk synthetic blocks when data is nil)
+// and blocks until the target's response.
+func (i *Initiator) Write(p *sim.Proc, lba uint64, nblk uint32, data []byte) int {
+	cmd := i.issue(p, true, lba, nblk, data)
+	p.Wait(cmd.done)
+	return cmd.n
+}
+
+// ReadAsync issues a READ without waiting — tagged command queueing. Wait
+// on the returned command with Await.
+func (i *Initiator) ReadAsync(p *sim.Proc, lba uint64, nblk uint32) *Command {
+	return (*Command)(i.issue(p, false, lba, nblk, nil))
+}
+
+// Command is an in-flight tagged command.
+type Command command
+
+// Await blocks until the command completes and returns its byte count.
+func (c *Command) Await(p *sim.Proc) int {
+	p.Wait(c.done)
+	return c.n
+}
+
+func (i *Initiator) issue(p *sim.Proc, write bool, lba uint64, nblk uint32, data []byte) *command {
+	i.nextTag++
+	cmd := &command{
+		tag: i.nextTag, write: write, lba: lba, nblk: nblk, wdata: data,
+		done: p.Env().NewEvent(),
+	}
+	i.pending[cmd.tag] = cmd
+	i.submit.TryPut(cmd)
+	return cmd
+}

@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGatherCollectsInRankOrder(t *testing.T) {
+	for _, shape := range [][2]int{{2, 2}, {3, 2}, {4, 4}} {
+		for _, root := range []int{0, shape[0]} { // root in A, root in B
+			w, _ := spreadWorld(shape[0], shape[1], sim.Micros(10), Config{})
+			n := shape[0] + shape[1]
+			var got []byte
+			w.Run(func(r *Rank, p *sim.Proc) {
+				block := bytes.Repeat([]byte{byte(r.ID() + 1)}, 4)
+				out := r.Gather(p, root, block, 0)
+				if r.ID() == root {
+					got = out
+				} else if out != nil {
+					t.Errorf("non-root got non-nil gather result")
+				}
+			})
+			if len(got) != n*4 {
+				t.Fatalf("shape %v root %d: gather len = %d", shape, root, len(got))
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < 4; j++ {
+					if got[i*4+j] != byte(i+1) {
+						t.Fatalf("shape %v root %d: block %d = %v", shape, root, i, got[i*4:(i+1)*4])
+					}
+				}
+			}
+			w.Shutdown()
+		}
+	}
+}
+
+func TestScatterDistributesInRankOrder(t *testing.T) {
+	for _, shape := range [][2]int{{2, 2}, {3, 2}, {4, 4}} {
+		for _, root := range []int{0, 1} {
+			w, _ := spreadWorld(shape[0], shape[1], sim.Micros(10), Config{})
+			n := shape[0] + shape[1]
+			data := make([]byte, n*8)
+			for i := range data {
+				data[i] = byte(i/8 + 10)
+			}
+			ok := true
+			w.Run(func(r *Rank, p *sim.Proc) {
+				var in []byte
+				if r.ID() == root {
+					in = data
+				}
+				block := r.Scatter(p, root, in, 8)
+				for _, b := range block {
+					if b != byte(r.ID()+10) {
+						ok = false
+					}
+				}
+				if len(block) != 8 {
+					ok = false
+				}
+			})
+			if !ok {
+				t.Errorf("shape %v root %d: scatter blocks wrong", shape, root)
+			}
+			w.Shutdown()
+		}
+	}
+}
+
+func TestGatherScatterInverse(t *testing.T) {
+	w, _ := spreadWorld(2, 2, sim.Micros(100), Config{})
+	defer w.Shutdown()
+	orig := []byte("abcdefghijklmnop") // 4 blocks of 4
+	ok := true
+	w.Run(func(r *Rank, p *sim.Proc) {
+		var in []byte
+		if r.ID() == 0 {
+			in = orig
+		}
+		block := r.Scatter(p, 0, in, 4)
+		round := r.Gather(p, 0, block, 0)
+		if r.ID() == 0 && !bytes.Equal(round, orig) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("gather(scatter(x)) != x")
+	}
+}
+
+func TestAllgatherRealData(t *testing.T) {
+	for _, shape := range [][2]int{{2, 2}, {3, 2}} {
+		w, _ := spreadWorld(shape[0], shape[1], sim.Micros(10), Config{})
+		n := shape[0] + shape[1]
+		ok := true
+		w.Run(func(r *Rank, p *sim.Proc) {
+			block := bytes.Repeat([]byte{byte('A' + r.ID())}, 5)
+			out := r.Allgather(p, block, 0)
+			if len(out) != n*5 {
+				ok = false
+				return
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < 5; j++ {
+					if out[i*5+j] != byte('A'+i) {
+						ok = false
+					}
+				}
+			}
+		})
+		if !ok {
+			t.Errorf("shape %v: allgather wrong", shape)
+		}
+		w.Shutdown()
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, shape := range [][2]int{{2, 2}, {3, 2}, {4, 4}} { // n = 4, 5, 8
+		w, _ := spreadWorld(shape[0], shape[1], sim.Micros(10), Config{})
+		n := shape[0] + shape[1]
+		share := 3
+		ok := true
+		w.Run(func(r *Rank, p *sim.Proc) {
+			vals := make([]float64, n*share)
+			for j := range vals {
+				vals[j] = float64(r.ID()*1000 + j)
+			}
+			out := r.ReduceScatter(p, vals)
+			if len(out) != share {
+				ok = false
+				return
+			}
+			for j := range out {
+				idx := r.ID()*share + j
+				want := 0.0
+				for i := 0; i < n; i++ {
+					want += float64(i*1000 + idx)
+				}
+				if math.Abs(out[j]-want) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			t.Errorf("shape %v: ReduceScatter wrong", shape)
+		}
+		w.Shutdown()
+	}
+}

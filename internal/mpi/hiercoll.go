@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements WAN-aware (hierarchical) variants of barrier and
+// allreduce — the paper's stated future work ("we plan to study collective
+// communication operations in cluster-of-clusters scenarios in detail").
+// The design principle is the one §3.4 demonstrates for broadcast: pay the
+// WAN latency a constant number of times, independent of process count, by
+// electing one leader per cluster.
+
+// groups partitions the world's rank ids by cluster label, sorted.
+func (r *Rank) groups() (mine, other []int) {
+	myCluster := r.Cluster()
+	for _, rk := range r.world.ranks {
+		if rk.Cluster() == myCluster {
+			mine = append(mine, rk.id)
+		} else {
+			other = append(other, rk.id)
+		}
+	}
+	sort.Ints(mine)
+	sort.Ints(other)
+	return mine, other
+}
+
+// HierBarrier synchronizes all ranks crossing the WAN exactly twice (one
+// leader handshake), instead of the dissemination barrier's log2(n) rounds
+// of potentially-crossing exchanges.
+func (r *Rank) HierBarrier(p *sim.Proc) {
+	r.collSeq++
+	tagGather := r.collTag(0)
+	tagWAN := r.collTag(1)
+	tagRelease := r.collTag(2)
+	mine, other := r.groups()
+	if len(other) == 0 {
+		r.Barrier(p)
+		return
+	}
+	leader := mine[0]
+	remoteLeader := other[0]
+	if r.id == leader {
+		// Gather arrivals from the local cluster.
+		for range mine[1:] {
+			r.Recv(p, AnySource, tagGather, nil, 0)
+		}
+		// Leader handshake across the WAN.
+		r.Sendrecv(p, remoteLeader, tagWAN, nil, 0, remoteLeader, tagWAN, nil, 0)
+		// Release the local cluster.
+		r.bcastTree(p, leader, nil, 0, mine, tagRelease)
+	} else {
+		r.Send(p, leader, tagGather, nil, 0)
+		r.bcastTree(p, leader, nil, 0, mine, tagRelease)
+	}
+}
+
+// HierAllreduce sums float64 vectors with cluster-local reduction, a single
+// leader exchange over the WAN, and cluster-local broadcast: the WAN is
+// crossed once in each direction regardless of n.
+func (r *Rank) HierAllreduce(p *sim.Proc, vals []float64) []float64 {
+	r.collSeq++
+	tagReduce := r.collTag(0)
+	tagWAN := r.collTag(1)
+	tagBcast := r.collTag(2)
+	mine, other := r.groups()
+	if len(other) == 0 {
+		return r.Allreduce(p, vals)
+	}
+	leader := mine[0]
+	remoteLeader := other[0]
+	// Local binomial reduce onto the leader (positions within the group).
+	me := indexOf(mine, r.id)
+	n := len(mine)
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			parent := mine[me&^mask]
+			r.Send(p, parent, tagReduce, encodeF64(acc), 0)
+			acc = nil
+			break
+		}
+		if me+mask < n {
+			child := mine[me+mask]
+			buf := make([]byte, 8*len(vals))
+			got, _ := r.Recv(p, child, tagReduce, buf, 0)
+			vec := decodeF64(buf[:got])
+			for i := range acc {
+				acc[i] += vec[i]
+			}
+		}
+	}
+	// Leaders exchange partial sums (one WAN round trip) and combine.
+	var result []byte
+	if r.id == leader {
+		peerBuf := make([]byte, 8*len(vals))
+		got, _ := r.Sendrecv(p, remoteLeader, tagWAN, encodeF64(acc), 0,
+			remoteLeader, tagWAN, peerBuf, 0)
+		peer := decodeF64(peerBuf[:got])
+		for i := range acc {
+			acc[i] += peer[i]
+		}
+		result = encodeF64(acc)
+	} else {
+		result = make([]byte, 8*len(vals))
+	}
+	// Local broadcast of the global result.
+	out := r.bcastTree(p, leader, result, 8*len(vals), mine, tagBcast)
+	return decodeF64(out)
+}
+
+func indexOf(ids []int, id int) int {
+	for i, v := range ids {
+		if v == id {
+			return i
+		}
+	}
+	panic("mpi: rank not in its own cluster group")
+}

@@ -1,0 +1,268 @@
+// Package mpi implements an MPI-like message passing library over the
+// simulated InfiniBand verbs layer, modeled on MVAPICH2 (the library the
+// paper evaluates). It provides:
+//
+//   - Point-to-point messaging with the two-protocol design whose WAN
+//     behaviour the paper studies: an eager protocol (one-way, buffered,
+//     copy at both ends) for small messages and a rendezvous protocol
+//     (RTS/CTS handshake + zero-copy RDMA write) for large ones, switched
+//     at a tunable threshold (paper §3.4, Figs. 8-9).
+//   - Collectives, including a flat binomial broadcast and the paper's
+//     WAN-aware hierarchical broadcast that crosses the WAN link exactly
+//     once (Fig. 11).
+//   - OSU-microbenchmark-style measurement loops (latency, bandwidth,
+//     bidirectional bandwidth, multi-pair message rate, broadcast).
+//
+// Ranks run as simulation processes; each rank owns a completion queue and
+// a progress engine, with reliable-connected QPs created lazily per peer.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Tag matching wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// CtrlBytes is the wire size of MPI protocol headers (eager header, RTS,
+// CTS, FIN control messages).
+const CtrlBytes = 48
+
+// Shared-memory path constants for ranks co-located on a node.
+const (
+	ShmLatency      = 400 * sim.Nanosecond
+	ShmPerByteNanos = 0.25
+)
+
+// Config tunes the library; zero values select MVAPICH2-like defaults.
+type Config struct {
+	// EagerThreshold is the largest message sent eagerly; larger messages
+	// use rendezvous. Default 8 KB ("by default above 8KB for MVAPICH2").
+	EagerThreshold int
+	// QPWindow is the per-QP bound on in-flight messages (ib
+	// MaxInflight). Default ib.DefaultMaxInflight.
+	QPWindow int
+	// CopyPerByteNanos is the eager-protocol copy cost per byte charged
+	// at each end (bounce-buffer memcpy). Default 0.4 ns/B (~2.5 GB/s).
+	CopyPerByteNanos float64
+	// RecvPool is the number of preposted receives per QP.
+	RecvPool int
+}
+
+// DefaultEagerThreshold is the MVAPICH2 default rendezvous switch point.
+const DefaultEagerThreshold = 8 << 10
+
+func (c *Config) fill() {
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = DefaultEagerThreshold
+	}
+	if c.QPWindow == 0 {
+		c.QPWindow = ib.DefaultMaxInflight
+	}
+	if c.CopyPerByteNanos == 0 {
+		c.CopyPerByteNanos = 0.4
+	}
+	if c.RecvPool == 0 {
+		// In-flight messages per QP are bounded by QPWindow (excess sends
+		// are RNR-buffered), so a modest pool suffices even for large
+		// worlds with thousands of QPs.
+		c.RecvPool = 32
+	}
+}
+
+// World is an MPI communicator spanning a set of ranks placed on cluster
+// nodes.
+type World struct {
+	env       *sim.Env
+	cfg       Config
+	ranks     []*Rank
+	profile   MessageProfile
+	winStates map[int]*winState
+}
+
+// MessageProfile is the world's send-side message-size census — the
+// profiling the paper performs in §3.5 to explain NAS delay tolerance
+// ("IS and FT involve a high percentage of large messages while CG has a
+// high percentage of small and medium messages").
+type MessageProfile struct {
+	Msgs       int64
+	Bytes      int64
+	TinyMsgs   int64 // < 1 KB (latency-bound control and reductions)
+	LargeBytes int64 // volume in messages >= 32 KB
+	MaxMessage int
+}
+
+func (mp *MessageProfile) record(size int) {
+	mp.Msgs++
+	mp.Bytes += int64(size)
+	if size < 1<<10 {
+		mp.TinyMsgs++
+	}
+	if size >= 32<<10 {
+		mp.LargeBytes += int64(size)
+	}
+	if size > mp.MaxMessage {
+		mp.MaxMessage = size
+	}
+}
+
+// LargeVolumeFraction is the fraction of traffic volume carried in
+// messages of at least 32 KB.
+func (mp MessageProfile) LargeVolumeFraction() float64 {
+	if mp.Bytes == 0 {
+		return 0
+	}
+	return float64(mp.LargeBytes) / float64(mp.Bytes)
+}
+
+// TinyCountFraction is the fraction of messages under 1 KB.
+func (mp MessageProfile) TinyCountFraction() float64 {
+	if mp.Msgs == 0 {
+		return 0
+	}
+	return float64(mp.TinyMsgs) / float64(mp.Msgs)
+}
+
+// Profile returns the accumulated message census.
+func (w *World) Profile() MessageProfile { return w.profile }
+
+// NewWorld creates a world with one rank per entry of placement (rank i
+// runs on placement[i]). Multiple ranks may share a node; they communicate
+// through the shared-memory path.
+func NewWorld(env *sim.Env, placement []*cluster.Node, cfg Config) *World {
+	cfg.fill()
+	w := &World{env: env, cfg: cfg, winStates: map[int]*winState{}}
+	for i, node := range placement {
+		r := &Rank{
+			world: w,
+			id:    i,
+			node:  node,
+			cq:    ib.NewCQ(env),
+			qps:   make(map[int]*ib.QP),
+			rndv:  make(map[int64]*Request),
+			byQPN: make(map[int]*ib.QP),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	for _, r := range w.ranks {
+		r.startProgress()
+	}
+	return w
+}
+
+// BlockPlacement expands a node list with ppn ranks per node, in node
+// order — the paper's "block distribution mode of MPI processes".
+func BlockPlacement(nodes []*cluster.Node, ppn int) []*cluster.Node {
+	var out []*cluster.Node
+	for _, n := range nodes {
+		for i := 0; i < ppn; i++ {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns the rank handle with the given id.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Env returns the simulation environment.
+func (w *World) Env() *sim.Env { return w.env }
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Run spawns one process per rank executing fn and runs the simulation
+// until every rank returns; it then reports the virtual time at which the
+// last rank finished. It panics if the simulation drains with ranks still
+// blocked (a communication deadlock).
+func (w *World) Run(fn func(r *Rank, p *sim.Proc)) sim.Time {
+	remaining := len(w.ranks)
+	var finish sim.Time
+	for _, r := range w.ranks {
+		r := r
+		w.env.Go(fmt.Sprintf("rank-%d", r.id), func(p *sim.Proc) {
+			fn(r, p)
+			remaining--
+			if remaining == 0 {
+				finish = p.Now()
+				w.env.Stop()
+			}
+		})
+	}
+	w.env.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when simulation drained", remaining))
+	}
+	return finish
+}
+
+// Shutdown unwinds rank progress engines (call when done with the world).
+func (w *World) Shutdown() { w.env.Shutdown() }
+
+// Rank is one MPI process.
+type Rank struct {
+	world *World
+	id    int
+	node  *cluster.Node
+	cq    *ib.CQ
+	qps   map[int]*ib.QP // peer rank -> QP
+
+	// Matching engine state.
+	postedRecvs []*Request // Irecv requests not yet matched
+	unexpected  []*inbound // arrived messages with no matching recv
+
+	// Pending rendezvous sends by request id.
+	nextReq int64
+	rndv    map[int64]*Request
+	byQPN   map[int]*ib.QP // local QPN -> QP, for receive reposting
+
+	// collSeq numbers collective calls; collectives must be invoked in
+	// the same order on every rank (the MPI rule), which keeps tags
+	// aligned.
+	collSeq int
+	// winSeq numbers collective window creations (same lockstep rule).
+	winSeq int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Node returns the node the rank runs on.
+func (r *Rank) Node() *cluster.Node { return r.node }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.world.ranks) }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.world }
+
+// Cluster returns the rank's cluster label ("A" or "B").
+func (r *Rank) Cluster() string { return r.node.Cluster }
+
+// qpTo returns (creating lazily) the RC QP toward the peer rank.
+func (r *Rank) qpTo(peer *Rank) *ib.QP {
+	if qp, ok := r.qps[peer.id]; ok {
+		return qp
+	}
+	cfg := ib.QPConfig{MaxInflight: r.world.cfg.QPWindow}
+	local, remote := ib.CreateRCPair(r.node.HCA, peer.node.HCA, r.cq, peer.cq, cfg)
+	r.qps[peer.id] = local
+	peer.qps[r.id] = remote
+	for i := 0; i < r.world.cfg.RecvPool; i++ {
+		local.PostRecv(ib.RecvWR{})
+		remote.PostRecv(ib.RecvWR{})
+	}
+	r.byQPN[local.QPN()] = local
+	peer.byQPN[remote.QPN()] = remote
+	return local
+}

@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestEagerThresholdBoundary(t *testing.T) {
+	// A message exactly at the threshold goes eagerly; one byte more uses
+	// rendezvous. Distinguish by the control traffic: rendezvous posts an
+	// entry in the sender's rndv map until CTS.
+	w := crossWorld(sim.Micros(10), Config{})
+	defer w.Shutdown()
+	thr := w.Config().EagerThreshold
+	var sawRndv [2]bool
+	w.Run(func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			q1 := r.Isend(p, 1, 1, nil, thr)
+			sawRndv[0] = len(r.rndv) > 0
+			q1.Wait(p)
+			q2 := r.Isend(p, 1, 2, nil, thr+1)
+			sawRndv[1] = len(r.rndv) > 0
+			q2.Wait(p)
+		case 1:
+			r.Recv(p, 0, 1, nil, thr)
+			r.Recv(p, 0, 2, nil, thr+1)
+		}
+	})
+	if sawRndv[0] {
+		t.Error("message at threshold used rendezvous")
+	}
+	if !sawRndv[1] {
+		t.Error("message above threshold did not use rendezvous")
+	}
+}
+
+func TestRendezvousTruncationPanics(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer func() {
+		w.Shutdown()
+		if recover() == nil {
+			t.Fatal("rendezvous truncation did not panic")
+		}
+	}()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, 1, 1, nil, 100000)
+		case 1:
+			buf := make([]byte, 10) // far too small for a 100 KB message
+			r.Recv(p, 0, 1, buf, 0)
+		}
+	})
+}
+
+func TestEagerTruncationKeepsPrefix(t *testing.T) {
+	// Eager truncation (buffer smaller than message) delivers the prefix,
+	// as MPI_ERR_TRUNCATE-tolerant implementations do for eager data.
+	w := crossWorld(0, Config{})
+	defer w.Shutdown()
+	var n int
+	buf := make([]byte, 3)
+	w.Run(func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, 1, 1, []byte{1, 2, 3, 4, 5}, 0)
+		case 1:
+			n, _ = r.Recv(p, 0, 1, buf, 0)
+		}
+	})
+	if n != 3 || buf[0] != 1 || buf[2] != 3 {
+		t.Errorf("truncated recv n=%d buf=%v", n, buf)
+	}
+}
+
+func TestSendrecvExchangeNoDeadlock(t *testing.T) {
+	// Symmetric large-message exchange must not deadlock (nonblocking
+	// receive under the hood).
+	w, _ := spreadWorld(2, 2, sim.Micros(100), Config{})
+	defer w.Shutdown()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		partner := r.ID() ^ 1
+		r.Sendrecv(p, partner, 5, nil, 500000, partner, 5, nil, 500000)
+	})
+}
+
+func TestBlockPlacement(t *testing.T) {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 2})
+	pl := BlockPlacement(tb.Nodes(), 3)
+	if len(pl) != 12 {
+		t.Fatalf("placement len = %d", len(pl))
+	}
+	if pl[0] != pl[2] || pl[0] == pl[3] {
+		t.Error("ppn grouping wrong")
+	}
+}
+
+func TestProfileCensus(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer w.Shutdown()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, 1, 1, nil, 100)     // tiny
+			r.Send(p, 1, 1, nil, 64<<10)  // large
+			r.Send(p, 1, 1, nil, 128<<10) // large
+		case 1:
+			r.Recv(p, 0, 1, nil, 100)
+			r.Recv(p, 0, 1, nil, 64<<10)
+			r.Recv(p, 0, 1, nil, 128<<10)
+		}
+	})
+	mp := w.Profile()
+	if mp.Msgs != 3 || mp.TinyMsgs != 1 || mp.MaxMessage != 128<<10 {
+		t.Errorf("profile = %+v", mp)
+	}
+	wantLarge := float64(192<<10) / float64(192<<10+100)
+	if lf := mp.LargeVolumeFraction(); lf < wantLarge-0.01 || lf > wantLarge+0.01 {
+		t.Errorf("large fraction = %v", lf)
+	}
+	if mp.TinyCountFraction() != 1.0/3 {
+		t.Errorf("tiny fraction = %v", mp.TinyCountFraction())
+	}
+}
+
+func TestMessageRateScalesWithPairs(t *testing.T) {
+	// Paper Fig. 10: at high delay the aggregate message rate grows with
+	// the number of pairs.
+	rate := func(pairs int) float64 {
+		env := sim.NewEnv()
+		tb := cluster.New(env, cluster.Config{NodesA: pairs, NodesB: pairs, Delay: sim.Micros(1000)})
+		var nodes []*cluster.Node
+		nodes = append(nodes, tb.A...)
+		nodes = append(nodes, tb.B...)
+		w := NewWorld(env, nodes, Config{})
+		defer w.Shutdown()
+		return MessageRate(w, pairs, 1024, 2)
+	}
+	r4, r16 := rate(4), rate(16)
+	if r16 < 3*r4 {
+		t.Errorf("message rate scaling 4->16 pairs: %.3f -> %.3f, want ~4x", r4, r16)
+	}
+}
+
+func TestIsendToInvalidRankPanics(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer func() {
+		w.Shutdown()
+		if recover() == nil {
+			t.Fatal("Isend to invalid rank did not panic")
+		}
+	}()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			r.Isend(p, 99, 1, nil, 8)
+		}
+	})
+}
+
+func TestBarrierRepeats(t *testing.T) {
+	w, _ := spreadWorld(2, 2, sim.Micros(10), Config{})
+	defer w.Shutdown()
+	counts := make([]int, 4)
+	w.Run(func(r *Rank, p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			r.Barrier(p)
+			counts[r.ID()]++
+		}
+	})
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("rank %d did %d barriers", i, c)
+		}
+	}
+}
+
+func TestHierBcastRootInB(t *testing.T) {
+	// Root in cluster B: the leader logic must work in both directions.
+	w, _ := spreadWorld(3, 3, sim.Micros(100), Config{})
+	defer w.Shutdown()
+	root := 4 // cluster B under block order (3 A-nodes first)
+	payload := []byte("rooted in cluster B")
+	ok := true
+	w.Run(func(r *Rank, p *sim.Proc) {
+		if r.ID() == root {
+			r.HierBcast(p, root, payload, 0)
+		} else {
+			buf := make([]byte, len(payload))
+			out := r.HierBcast(p, root, buf, 0)
+			if string(out) != string(payload) {
+				ok = false
+			}
+		}
+	})
+	if !ok {
+		t.Error("HierBcast with root in cluster B corrupted payload")
+	}
+}
+
+func TestLatencyHalfRoundTripAtZeroDelay(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer w.Shutdown()
+	lat := Latency(w, 8, 50)
+	// Verbs RC over the Longbow pair is ~6.9us; MPI adds header+matching.
+	if lat < 6*sim.Microsecond || lat > 12*sim.Microsecond {
+		t.Errorf("MPI 0-delay latency = %v", lat)
+	}
+}

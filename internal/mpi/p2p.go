@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Isend starts a nonblocking send of size bytes (or of data, when non-nil)
+// to rank dst with the given tag. Messages at or below the eager threshold
+// go eagerly (bounce-buffer copy, one-way); larger messages use the
+// rendezvous protocol (RTS/CTS handshake, zero-copy RDMA write).
+//
+// The returned request completes when the send buffer is reusable: for
+// eager sends, when the transport acknowledges the message; for rendezvous,
+// when the RDMA write has been acknowledged.
+func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request {
+	if data != nil {
+		size = len(data)
+	}
+	if dst < 0 || dst >= len(r.world.ranks) {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+	}
+	req := &Request{
+		rank: r, done: r.world.env.NewEvent(), isSend: true,
+		peer: dst, tag: tag, size: size, data: data,
+	}
+	r.world.profile.record(size)
+	peer := r.world.ranks[dst]
+	eager := size <= r.world.cfg.EagerThreshold
+	m := &mpiMsg{src: r.id, tag: tag, size: size}
+	if eager {
+		m.kind = eagerMsg
+		m.data = data
+		if peer.node == r.node {
+			// Shared-memory path: single copy charged here.
+			p.Sleep(sim.Time(float64(size) * ShmPerByteNanos))
+			r.shmDeliver(peer, m, req)
+			return req
+		}
+		// Sender-side bounce-buffer copy, then a single verbs send.
+		p.Sleep(r.world.copyTime(size))
+		qp := r.qpTo(peer)
+		qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: size + CtrlBytes, Meta: m, Ctx: req})
+		return req
+	}
+	// Rendezvous.
+	r.nextReq++
+	m.kind = rtsMsg
+	m.sendReq = r.nextReq
+	r.rndv[m.sendReq] = req
+	r.ctrlSend(peer, m, nil)
+	return req
+}
+
+// Irecv posts a nonblocking receive matching (src, tag); src may be
+// AnySource and tag may be AnyTag. When buf is non-nil the message payload
+// lands there (its length is the capacity); otherwise size is the synthetic
+// capacity.
+func (r *Rank) Irecv(src, tag int, buf []byte, size int) *Request {
+	if buf != nil {
+		size = len(buf)
+	}
+	req := &Request{
+		rank: r, done: r.world.env.NewEvent(),
+		peer: src, tag: tag, size: size, data: buf,
+	}
+	if in := r.matchUnexpected(req); in != nil {
+		switch in.kind {
+		case eagerMsg:
+			// The receive-side copy cost is charged on the progress
+			// engine's timeline for remote messages; for an
+			// already-arrived message the copy happens now, but without a
+			// process handle we fold it into delivery directly (the cost
+			// was dominated by the wait that already happened).
+			r.deliverEager(req, in)
+		case rtsMsg:
+			if in.srcRank.node == r.node {
+				r.shmCTS(req, in)
+			} else {
+				r.sendCTS(req, in)
+			}
+		}
+		return req
+	}
+	r.postedRecvs = append(r.postedRecvs, req)
+	return req
+}
+
+// Send is a blocking send.
+func (r *Rank) Send(p *sim.Proc, dst, tag int, data []byte, size int) {
+	req := r.Isend(p, dst, tag, data, size)
+	req.Wait(p)
+}
+
+// Recv is a blocking receive; it returns the received byte count and the
+// source rank.
+func (r *Rank) Recv(p *sim.Proc, src, tag int, buf []byte, size int) (int, int) {
+	req := r.Irecv(src, tag, buf, size)
+	return req.Wait(p)
+}
+
+// Sendrecv performs a blocking combined send and receive, the workhorse of
+// pairwise-exchange collectives.
+func (r *Rank) Sendrecv(p *sim.Proc, dst, stag int, sdata []byte, ssize int,
+	src, rtag int, rbuf []byte, rsize int) (int, int) {
+	rreq := r.Irecv(src, rtag, rbuf, rsize)
+	sreq := r.Isend(p, dst, stag, sdata, ssize)
+	sreq.Wait(p)
+	return rreq.Wait(p)
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(p *sim.Proc, reqs []*Request) {
+	for _, q := range reqs {
+		q.Wait(p)
+	}
+}

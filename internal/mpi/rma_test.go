@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRMAPutGetRoundTrip(t *testing.T) {
+	w := crossWorld(sim.Micros(100), Config{})
+	defer w.Shutdown()
+	const winSize = 1 << 16
+	regions := make([][]byte, 2)
+	for i := range regions {
+		regions[i] = make([]byte, winSize)
+	}
+	payload := []byte("one-sided across the WAN")
+	var fetched []byte
+	w.Run(func(r *Rank, p *sim.Proc) {
+		win := r.WinCreate(p, regions[r.ID()], 0)
+		if r.ID() == 0 {
+			win.Put(p, 1, payload, 0, 1000)
+		}
+		win.Fence(p)
+		if r.ID() == 1 {
+			// The put must be visible locally after the fence.
+			if !bytes.Equal(regions[1][1000:1000+len(payload)], payload) {
+				t.Error("Put not visible in target window after Fence")
+			}
+			// Write something for rank 0 to Get.
+			copy(regions[1][2000:], []byte("get-me"))
+		}
+		win.Fence(p)
+		if r.ID() == 0 {
+			buf := make([]byte, 6)
+			win.Get(p, 1, buf, 0, 2000)
+			win.Fence(p)
+			fetched = buf
+		} else {
+			win.Fence(p)
+		}
+	})
+	if string(fetched) != "get-me" {
+		t.Errorf("Get = %q, want get-me", fetched)
+	}
+}
+
+func TestRMALocalOps(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer w.Shutdown()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		local := make([]byte, 1024)
+		win := r.WinCreate(p, local, 0)
+		win.Put(p, r.ID(), []byte{9, 9}, 0, 10)
+		buf := make([]byte, 2)
+		win.Get(p, r.ID(), buf, 0, 10)
+		win.Fence(p)
+		if buf[0] != 9 || buf[1] != 9 {
+			t.Errorf("rank %d local put/get = %v", r.ID(), buf)
+		}
+	})
+}
+
+func TestRMAManyToOne(t *testing.T) {
+	// All ranks put a disjoint slice into rank 0's window; after the
+	// fence rank 0 sees every contribution.
+	w, _ := spreadWorld(3, 3, sim.Micros(100), Config{})
+	defer w.Shutdown()
+	n := w.Size()
+	region := make([]byte, n*8)
+	ok := true
+	w.Run(func(r *Rank, p *sim.Proc) {
+		var win *Win
+		if r.ID() == 0 {
+			win = r.WinCreate(p, region, 0)
+		} else {
+			win = r.WinCreate(p, nil, len(region))
+		}
+		chunk := bytes.Repeat([]byte{byte(r.ID() + 1)}, 8)
+		win.Put(p, 0, chunk, 0, r.ID()*8)
+		win.Fence(p)
+		if r.ID() == 0 {
+			for i := 0; i < n; i++ {
+				for j := 0; j < 8; j++ {
+					if region[i*8+j] != byte(i+1) {
+						ok = false
+					}
+				}
+			}
+		}
+	})
+	if !ok {
+		t.Error("many-to-one puts incomplete after fence")
+	}
+}
+
+func TestRMAPutBeyondWindowPanics(t *testing.T) {
+	w := crossWorld(0, Config{})
+	defer func() {
+		w.Shutdown()
+		if recover() == nil {
+			t.Fatal("out-of-bounds Put did not panic")
+		}
+	}()
+	w.Run(func(r *Rank, p *sim.Proc) {
+		win := r.WinCreate(p, nil, 100)
+		if r.ID() == 0 {
+			win.Put(p, 1, nil, 200, 0)
+		}
+		win.Fence(p)
+	})
+}
+
+func TestRMASyntheticBandwidthShape(t *testing.T) {
+	// One-sided puts are pure RDMA writes: at 1 ms a window of large puts
+	// outruns many small puts, the Fig. 5 window effect again.
+	elapsed := func(putSize, count int) sim.Time {
+		w := crossWorld(sim.Micros(1000), Config{})
+		defer w.Shutdown()
+		return w.Run(func(r *Rank, p *sim.Proc) {
+			win := r.WinCreate(p, nil, 8<<20)
+			if r.ID() == 0 {
+				for i := 0; i < count; i++ {
+					win.Put(p, 1, nil, putSize, 0)
+				}
+			}
+			win.Fence(p)
+		})
+	}
+	small := elapsed(8<<10, 128) // 1 MB in 8K puts
+	large := elapsed(1<<20, 1)   // 1 MB in one put
+	if large*2 > small {
+		t.Errorf("large put (%v) not clearly faster than many small puts (%v) at 1ms", large, small)
+	}
+}

@@ -1,0 +1,127 @@
+package nas
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// runMG: multigrid V-cycles on a 3-D grid partitioned across a processor
+// grid. Each level performs face (halo) exchanges with up to three
+// neighbours; faces shrink by 4x per coarser level, so the traffic is a
+// mix of medium and small messages, and the coarse levels are
+// latency-bound — MG sits between FT (bandwidth-friendly) and LU
+// (latency-hostile) in WAN sensitivity.
+func runMG(w *mpi.World, b params) sim.Time {
+	n := w.Size()
+	rows := gridRows(n)
+	cols := n / rows
+	// Finest-level face bytes per neighbour: (dim/rows) x (dim/cols)
+	// points x 8 B.
+	levels := 0
+	for d := b.mgDim; d >= 4; d /= 2 {
+		levels++
+	}
+	pointsPer := b.mgDim * b.mgDim * b.mgDim / int64(n)
+	return w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		myRow := r.ID() / cols
+		myCol := r.ID() % cols
+		tag := 50000
+		for it := 0; it < b.mgIters; it++ {
+			// Down-sweep and up-sweep of the V-cycle.
+			for pass := 0; pass < 2; pass++ {
+				dim := b.mgDim
+				for lvl := 0; lvl < levels; lvl++ {
+					// Smoothing compute at this level.
+					pts := dim * dim * dim / int64(n)
+					if pts < 1 {
+						pts = 1
+					}
+					p.Sleep(sim.Time(float64(pts) * mgNanosPerPoint))
+					// Halo exchange with the 2-D grid neighbours.
+					face := int(dim / int64(rows) * dim / int64(cols) * 8)
+					if face < 8 {
+						face = 8
+					}
+					for _, d := range [][2]int{{0, 1}, {1, 0}} {
+						nr, nc := myRow+d[0], myCol+d[1]
+						pr, pc := myRow-d[0], myCol-d[1]
+						if nr < rows && nc < cols {
+							partner := nr*cols + nc
+							r.Sendrecv(p, partner, tag, nil, face, partner, tag, nil, face)
+						}
+						if pr >= 0 && pc >= 0 {
+							partner := pr*cols + pc
+							r.Sendrecv(p, partner, tag, nil, face, partner, tag, nil, face)
+						}
+						tag++
+					}
+					dim /= 2
+				}
+			}
+			// Residual norm: one small allreduce per cycle.
+			r.Allreduce(p, []float64{float64(it)})
+		}
+		r.Barrier(p)
+		_ = pointsPer
+	})
+}
+
+// runLU: SSOR wavefront sweeps. The lower- and upper-triangular solves
+// propagate a dependency front across the processor grid: each rank waits
+// for small boundary messages from its north/west neighbours, computes,
+// and forwards south/east. Hundreds of iterations of tiny blocking
+// messages make LU the most latency-sensitive NAS kernel — on a WAN the
+// pipeline stalls for a full one-way delay at every grid hop.
+func runLU(w *mpi.World, b params) sim.Time {
+	n := w.Size()
+	rows := gridRows(n)
+	cols := n / rows
+	pointsPer := b.luDim * b.luDim * b.luDim / int64(n)
+	// Boundary message: a pencil of 5 doubles per grid point along one
+	// face edge of the local block.
+	faceMsg := int(b.luDim / int64(rows) * 5 * 8)
+	if faceMsg < 40 {
+		faceMsg = 40
+	}
+	return w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		myRow := r.ID() / cols
+		myCol := r.ID() % cols
+		north := (myRow-1)*cols + myCol
+		south := (myRow+1)*cols + myCol
+		west := myRow*cols + myCol - 1
+		east := myRow*cols + myCol + 1
+		for it := 0; it < b.luIters; it++ {
+			tag := 60000 + it*4
+			// Lower-triangular sweep: front moves from (0,0) to
+			// (rows-1, cols-1).
+			if myRow > 0 {
+				r.Recv(p, north, tag, nil, faceMsg)
+			}
+			if myCol > 0 {
+				r.Recv(p, west, tag, nil, faceMsg)
+			}
+			p.Sleep(sim.Time(float64(pointsPer) * luNanosPerPoint / 2))
+			if myRow < rows-1 {
+				r.Send(p, south, tag, nil, faceMsg)
+			}
+			if myCol < cols-1 {
+				r.Send(p, east, tag, nil, faceMsg)
+			}
+			// Upper-triangular sweep: front moves back.
+			if myRow < rows-1 {
+				r.Recv(p, south, tag+1, nil, faceMsg)
+			}
+			if myCol < cols-1 {
+				r.Recv(p, east, tag+1, nil, faceMsg)
+			}
+			p.Sleep(sim.Time(float64(pointsPer) * luNanosPerPoint / 2))
+			if myRow > 0 {
+				r.Send(p, north, tag+1, nil, faceMsg)
+			}
+			if myCol > 0 {
+				r.Send(p, west, tag+1, nil, faceMsg)
+			}
+		}
+		r.Barrier(p)
+	})
+}

@@ -1,0 +1,167 @@
+package nas
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// world builds the paper's Fig. 12 setup scaled down: n/2 ranks per
+// cluster, one per node.
+func world(n int, delay sim.Time) *mpi.World {
+	env := sim.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: n / 2, NodesB: n / 2, Delay: delay})
+	var nodes []*cluster.Node
+	nodes = append(nodes, tb.A...)
+	nodes = append(nodes, tb.B...)
+	return mpi.NewWorld(env, nodes, mpi.Config{})
+}
+
+func TestKernelsComplete(t *testing.T) {
+	for _, k := range Kernels() {
+		w := world(8, sim.Micros(10))
+		elapsed := RunClass(w, k, "W")
+		if elapsed <= 0 {
+			t.Errorf("%s elapsed = %v", k, elapsed)
+		}
+		w.Shutdown()
+	}
+}
+
+func TestUnknownKernelPanics(t *testing.T) {
+	w := world(4, 0)
+	defer func() {
+		w.Shutdown()
+		if recover() == nil {
+			t.Fatal("unknown kernel did not panic")
+		}
+	}()
+	RunClass(w, "BT", "W")
+}
+
+func TestMessageProfiles(t *testing.T) {
+	// The paper's §3.5 profiling: IS and FT traffic is dominated by large
+	// messages; CG has many small messages and nothing near 1 MB.
+	profiles := map[string]mpi.MessageProfile{}
+	for _, k := range Kernels() {
+		w := world(16, 0)
+		RunClass(w, k, "A")
+		profiles[k] = w.Profile()
+		w.Shutdown()
+	}
+	if f := profiles[IS].LargeVolumeFraction(); f < 0.95 {
+		t.Errorf("IS large-volume fraction = %.3f, want ~1.0", f)
+	}
+	if f := profiles[FT].LargeVolumeFraction(); f < 0.80 {
+		t.Errorf("FT large-volume fraction = %.3f, want >= 0.83-ish", f)
+	}
+	if m := profiles[CG].MaxMessage; m >= 1<<20 {
+		t.Errorf("CG max message = %d, want < 1M (paper: all CG messages < 1M)", m)
+	}
+	if f := profiles[CG].TinyCountFraction(); f < 0.3 {
+		t.Errorf("CG tiny-count fraction = %.3f, want substantial", f)
+	}
+	if profiles[CG].TinyCountFraction() < profiles[IS].TinyCountFraction() {
+		t.Error("CG should have a higher tiny-message fraction than IS")
+	}
+}
+
+func TestDelayToleranceShape(t *testing.T) {
+	// Paper Fig. 12: IS and FT tolerate delays up to 10 ms (2000 km) with
+	// little slowdown; CG degrades markedly.
+	slowdown := func(k string, delay sim.Time) float64 {
+		w0 := world(16, 0)
+		base := RunClass(w0, k, "A")
+		w0.Shutdown()
+		w1 := world(16, delay)
+		far := RunClass(w1, k, "A")
+		w1.Shutdown()
+		return float64(far) / float64(base)
+	}
+	isS := slowdown(IS, sim.Micros(10000))
+	ftS := slowdown(FT, sim.Micros(10000))
+	cgS := slowdown(CG, sim.Micros(10000))
+	if isS > 1.6 {
+		t.Errorf("IS slowdown at 10ms = %.2fx, want tolerant (<1.6x)", isS)
+	}
+	if ftS > 1.6 {
+		t.Errorf("FT slowdown at 10ms = %.2fx, want tolerant (<1.6x)", ftS)
+	}
+	if cgS < 2.0 {
+		t.Errorf("CG slowdown at 10ms = %.2fx, want marked degradation (>2x)", cgS)
+	}
+	if cgS < isS || cgS < ftS {
+		t.Errorf("CG (%.2fx) should degrade more than IS (%.2fx) and FT (%.2fx)", cgS, isS, ftS)
+	}
+}
+
+func TestPerPairBytes(t *testing.T) {
+	if PerPairBytes(IS, 64) != 1<<25*4/64/64 {
+		t.Errorf("IS per-pair = %d", PerPairBytes(IS, 64))
+	}
+	if PerPairBytes(FT, 64) != 512*256*256*16/64/64 {
+		t.Errorf("FT per-pair = %d", PerPairBytes(FT, 64))
+	}
+	if PerPairBytes(CG, 64) != 0 {
+		t.Error("CG has no all-to-all")
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	if gridRows(64) != 8 || gridRows(16) != 4 || gridRows(2) != 1 {
+		t.Errorf("gridRows: %d %d %d", gridRows(64), gridRows(16), gridRows(2))
+	}
+	// Transpose partner must be an involution.
+	rows, cols := 4, 4
+	for id := 0; id < 16; id++ {
+		tp := transposePartner(id, rows, cols)
+		if transposePartner(tp, rows, cols) != id {
+			t.Errorf("transposePartner not involutive at %d", id)
+		}
+	}
+}
+
+func TestMGAndLUComplete(t *testing.T) {
+	for _, k := range []string{MG, LU} {
+		w := world(8, sim.Micros(10))
+		elapsed := RunClass(w, k, "W")
+		if elapsed <= 0 {
+			t.Errorf("%s elapsed = %v", k, elapsed)
+		}
+		w.Shutdown()
+	}
+}
+
+func TestLUMostLatencySensitive(t *testing.T) {
+	// LU's wavefront of tiny blocking messages should degrade more than
+	// any other kernel at high delay; MG should sit between FT and CG.
+	slowdown := func(k string) float64 {
+		w0 := world(16, 0)
+		base := RunClass(w0, k, "W")
+		w0.Shutdown()
+		w1 := world(16, sim.Micros(10000))
+		far := RunClass(w1, k, "W")
+		w1.Shutdown()
+		return float64(far) / float64(base)
+	}
+	lu := slowdown(LU)
+	mg := slowdown(MG)
+	ft := slowdown(FT)
+	if lu < 3 {
+		t.Errorf("LU slowdown at 10ms = %.2fx, want severe (>3x)", lu)
+	}
+	if lu < mg {
+		t.Errorf("LU (%.2fx) should degrade at least as much as MG (%.2fx)", lu, mg)
+	}
+	if mg < ft {
+		t.Errorf("MG (%.2fx) should degrade at least as much as FT (%.2fx)", mg, ft)
+	}
+}
+
+func TestAllKernelsList(t *testing.T) {
+	if len(AllKernels()) != 5 || AllKernels()[3] != MG || AllKernels()[4] != LU {
+		t.Errorf("AllKernels = %v", AllKernels())
+	}
+}

@@ -1,0 +1,127 @@
+package nfs
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Client is an NFS client bound to an RPC transport (a mount). Multiple
+// simulation processes (IOzone threads) may issue operations concurrently.
+type Client struct {
+	t rpc.Client
+}
+
+// NewClient wraps a connected RPC transport as an NFS mount.
+func NewClient(t rpc.Client) *Client { return &Client{t: t} }
+
+// Errors returned by client operations.
+var (
+	ErrNotFound = errors.New("nfs: no such file")
+	ErrExists   = errors.New("nfs: file exists")
+	ErrServer   = errors.New("nfs: server error")
+)
+
+func statusErr(st uint32) error {
+	switch st {
+	case OK:
+		return nil
+	case ErrNoEnt:
+		return ErrNotFound
+	case ErrExist:
+		return ErrExists
+	default:
+		return ErrServer
+	}
+}
+
+// Null performs a no-op RPC (useful for RTT probing).
+func (c *Client) Null(p *sim.Proc) error {
+	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcNull, Meta: statusMeta(0)[:0]})
+	_ = reply
+	return nil
+}
+
+// Lookup resolves a name to a file handle and size.
+func (c *Client) Lookup(p *sim.Proc, name string) (uint64, int64, error) {
+	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcLookup, Meta: []byte(name)})
+	st := binary.LittleEndian.Uint32(reply.Meta)
+	if err := statusErr(st); err != nil {
+		return 0, 0, err
+	}
+	fh := binary.LittleEndian.Uint64(reply.Meta[4:])
+	size := int64(binary.LittleEndian.Uint64(reply.Meta[12:]))
+	return fh, size, nil
+}
+
+// Getattr returns the file size.
+func (c *Client) Getattr(p *sim.Proc, fh uint64) (int64, error) {
+	meta := make([]byte, 8)
+	binary.LittleEndian.PutUint64(meta, fh)
+	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcGetattr, Meta: meta})
+	st := binary.LittleEndian.Uint32(reply.Meta)
+	if err := statusErr(st); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(reply.Meta[4:])), nil
+}
+
+// Create makes a new file: size >= 0 creates a synthetic file of that size;
+// size < 0 creates an empty real file for data writes.
+func (c *Client) Create(p *sim.Proc, name string, size int64) (uint64, error) {
+	meta := make([]byte, 8+len(name))
+	binary.LittleEndian.PutUint64(meta, uint64(size))
+	copy(meta[8:], name)
+	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcCreate, Meta: meta})
+	st := binary.LittleEndian.Uint32(reply.Meta)
+	if err := statusErr(st); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(reply.Meta[4:]), nil
+}
+
+func readMeta(fh uint64, off int64, count int) []byte {
+	meta := make([]byte, 8+8+4)
+	binary.LittleEndian.PutUint64(meta, fh)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(off))
+	binary.LittleEndian.PutUint32(meta[16:], uint32(count))
+	return meta
+}
+
+// Read reads count bytes at off. When buf is non-nil the data lands there
+// (real transfer); otherwise the transfer is synthetic. Returns bytes read.
+func (c *Client) Read(p *sim.Proc, fh uint64, off int64, count int, buf []byte) (int, error) {
+	req := &rpc.Request{Proc: ProcRead, Meta: readMeta(fh, off, count)}
+	if buf != nil {
+		req.ReadBuf = buf[:count]
+	} else {
+		req.ReadLen = count
+	}
+	reply, n := c.t.Call(p, req)
+	st := binary.LittleEndian.Uint32(reply.Meta)
+	if err := statusErr(st); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Write writes data (or n synthetic bytes when data is nil) at off.
+func (c *Client) Write(p *sim.Proc, fh uint64, off int64, data []byte, n int) (int, error) {
+	meta := make([]byte, 8+8)
+	binary.LittleEndian.PutUint64(meta, fh)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(off))
+	req := &rpc.Request{Proc: ProcWrite, Meta: meta}
+	if data != nil {
+		req.WriteBulk = data
+	} else {
+		req.WriteLen = n
+	}
+	reply, _ := c.t.Call(p, req)
+	st := binary.LittleEndian.Uint32(reply.Meta)
+	if err := statusErr(st); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(reply.Meta[4:])), nil
+}

@@ -1,0 +1,41 @@
+package nfs
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ipoib"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// nfsPort is the TCP port the NFS/TCP service listens on.
+const nfsPort = 2049
+
+// MountRDMA stands up an NFS/RDMA server on serverNode and returns it with
+// a client mounted from clientNode.
+func MountRDMA(serverNode, clientNode *cluster.Node) (*Server, *Client) {
+	srv := NewServer(serverNode, RDMATouchNanos)
+	rsrv := rpc.ServeRDMA(serverNode, DefaultThreads, srv.Handler())
+	cl := NewClient(rpc.NewRDMAClient(clientNode, rsrv))
+	return srv, cl
+}
+
+// MountTCP stands up an NFS server over TCP/IPoIB in the given IPoIB mode
+// and returns it with a client mounted from clientNode. The mount is
+// performed inside a short simulation run (TCP handshake).
+func MountTCP(env *sim.Env, serverNode, clientNode *cluster.Node, mode ipoib.Mode) (*Server, *Client) {
+	net := ipoib.NewNetwork()
+	sdev := net.Attach(serverNode.HCA, mode, 0)
+	cdev := net.Attach(clientNode.HCA, mode, 0)
+	sstack := tcpsim.NewStack(sdev, tcpsim.Config{})
+	cstack := tcpsim.NewStack(cdev, tcpsim.Config{})
+	srv := NewServer(serverNode, TCPTouchNanos)
+	rpc.ServeTCP(sstack, nfsPort, DefaultThreads, srv.Handler())
+	var cl *Client
+	env.Go("nfs-mount", func(p *sim.Proc) {
+		cl = NewClient(rpc.NewTCPClient(p, cstack, sstack.Addr(), nfsPort))
+		env.Stop()
+	})
+	env.Run()
+	return srv, cl
+}

@@ -1,0 +1,268 @@
+// Package perftest reimplements the OFED verbs-level performance tests the
+// paper uses for its baseline characterization (§3.2): send/recv latency
+// over UD and RC, RDMA-write latency, and streaming bandwidth /
+// bidirectional bandwidth over both transports.
+package perftest
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// ackSize is the tiny message the bandwidth tests use as a final handshake.
+const ackSize = 4
+
+// SendLatency measures half-round-trip send/recv latency between two HCAs
+// over the given transport.
+func SendLatency(env *sim.Env, a, b *ib.HCA, tr ib.Transport, size, iters int) sim.Time {
+	if tr == ib.UD {
+		return udLatency(env, a, b, size, iters)
+	}
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{})
+	var total sim.Time
+	env.Go("lat-b", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			qb.PostRecv(ib.RecvWR{})
+			waitFor(p, qb.CQ(), ib.OpRecv)
+			qb.PostSend(ib.SendWR{Op: ib.OpSend, Len: size})
+			waitFor(p, qb.CQ(), ib.OpSend)
+		}
+	})
+	env.Go("lat-a", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			qa.PostRecv(ib.RecvWR{})
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size})
+			waitFor(p, qa.CQ(), ib.OpRecv)
+		}
+		total = p.Now() - start
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	return total / sim.Time(2*iters)
+}
+
+func udLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
+	cqa, cqb := ib.NewCQ(env), ib.NewCQ(env)
+	qa := a.CreateQP(cqa, ib.QPConfig{Transport: ib.UD})
+	qb := b.CreateQP(cqb, ib.QPConfig{Transport: ib.UD})
+	var total sim.Time
+	env.Go("lat-b", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			qb.PostRecv(ib.RecvWR{})
+			waitFor(p, cqb, ib.OpRecv)
+			qb.PostSend(ib.SendWR{Op: ib.OpSend, Len: size, DestLID: a.LID(), DestQPN: qa.QPN()})
+		}
+	})
+	env.Go("lat-a", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			qa.PostRecv(ib.RecvWR{})
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size, DestLID: b.LID(), DestQPN: qb.QPN()})
+			waitFor(p, cqa, ib.OpRecv)
+		}
+		total = p.Now() - start
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	return total / sim.Time(2*iters)
+}
+
+// WriteLatency measures half-round-trip RDMA-write latency (the
+// ib_write_lat pattern: each side writes into the peer's region and polls
+// for the peer's write).
+func WriteLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{})
+	mra := a.RegisterVirtualMR(size)
+	mrb := b.RegisterVirtualMR(size)
+	var total sim.Time
+	env.Go("wlat-b", func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			waitNotify(p, qb.CQ()) // peer's write landed
+			qb.PostSend(ib.SendWR{Op: ib.OpRDMAWrite, Len: size, RemoteMR: mra, NotifyRemote: true})
+		}
+	})
+	env.Go("wlat-a", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpRDMAWrite, Len: size, RemoteMR: mrb, NotifyRemote: true})
+			waitNotify(p, qa.CQ()) // peer's response write
+		}
+		total = p.Now() - start
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	return total / sim.Time(2*iters)
+}
+
+// waitFor polls the CQ until a completion with the given opcode appears.
+// For latency tests the interesting completion may be interleaved with the
+// local send completions, which are discarded.
+func waitFor(p *sim.Proc, cq *ib.CQ, op ib.Opcode) ib.Completion {
+	for {
+		c := cq.Poll(p)
+		if c.Op == op {
+			return c
+		}
+	}
+}
+
+// waitNotify polls the CQ until a remote-write notification appears,
+// discarding local completions (a local RDMA-write completion carries no
+// source LID; a remote notify does).
+func waitNotify(p *sim.Proc, cq *ib.CQ) ib.Completion {
+	for {
+		c := cq.Poll(p)
+		if c.Op == ib.OpRDMAWrite && c.SrcLID != 0 {
+			return c
+		}
+	}
+}
+
+// BandwidthRC measures one-way RC streaming bandwidth (MillionBytes/s) for
+// the given message size, sending count messages.
+func BandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 {
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{MaxInflight: window})
+	var elapsed sim.Time
+	done := env.NewEvent()
+	env.Go("bw-recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			qb.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < count; i++ {
+			waitFor(p, qb.CQ(), ib.OpRecv)
+		}
+		done.Trigger(nil)
+	})
+	env.Go("bw-send", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size})
+		}
+		for i := 0; i < count; i++ {
+			waitFor(p, qa.CQ(), ib.OpSend)
+		}
+		p.Wait(done)
+		elapsed = p.Now() - start
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	return float64(size) * float64(count) / elapsed.Seconds() / 1e6
+}
+
+// BiBandwidthRC measures aggregate two-way RC bandwidth.
+func BiBandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 {
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{MaxInflight: window})
+	finish := func(p *sim.Proc, q *ib.QP) {
+		for i := 0; i < count; i++ {
+			q.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < count; i++ {
+			q.PostSend(ib.SendWR{Op: ib.OpSend, Len: size})
+		}
+		sends, recvs := 0, 0
+		for sends < count || recvs < count {
+			c := q.CQ().Poll(p)
+			switch c.Op {
+			case ib.OpSend:
+				sends++
+			case ib.OpRecv:
+				recvs++
+			}
+		}
+	}
+	var elapsed sim.Time
+	env.Go("bibw-b", func(p *sim.Proc) { finish(p, qb) })
+	env.Go("bibw-a", func(p *sim.Proc) {
+		start := p.Now()
+		finish(p, qa)
+		elapsed = p.Now() - start
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	return 2 * float64(size) * float64(count) / elapsed.Seconds() / 1e6
+}
+
+// BandwidthUD measures the steady-state one-way UD streaming rate. Because
+// UD is open-loop, the rate is computed between the first and last arrival
+// so the pipeline-fill delay (the WAN latency itself) is excluded —
+// matching how a long-running ib_send_bw converges.
+func BandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
+	cqa, cqb := ib.NewCQ(env), ib.NewCQ(env)
+	qa := a.CreateQP(cqa, ib.QPConfig{Transport: ib.UD})
+	qb := b.CreateQP(cqb, ib.QPConfig{Transport: ib.UD})
+	var window sim.Time
+	env.Go("udbw-recv", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			qb.PostRecv(ib.RecvWR{})
+		}
+		var first sim.Time
+		for i := 0; i < count; i++ {
+			waitFor(p, cqb, ib.OpRecv)
+			if i == 0 {
+				first = p.Now()
+			}
+		}
+		window = p.Now() - first
+		env.Stop()
+	})
+	env.Go("udbw-send", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size, DestLID: b.LID(), DestQPN: qb.QPN()})
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	return float64(size) * float64(count-1) / window.Seconds() / 1e6
+}
+
+// BiBandwidthUD measures aggregate two-way UD streaming rate, steady-state.
+func BiBandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
+	cqa, cqb := ib.NewCQ(env), ib.NewCQ(env)
+	qa := a.CreateQP(cqa, ib.QPConfig{Transport: ib.UD})
+	qb := b.CreateQP(cqb, ib.QPConfig{Transport: ib.UD})
+	rate := func(p *sim.Proc, cq *ib.CQ) float64 {
+		var first sim.Time
+		for i := 0; i < count; i++ {
+			waitFor(p, cq, ib.OpRecv)
+			if i == 0 {
+				first = p.Now()
+			}
+		}
+		return float64(size) * float64(count-1) / (p.Now() - first).Seconds() / 1e6
+	}
+	var ra, rb float64
+	left := 2
+	env.Go("a", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			qa.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < count; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size, DestLID: b.LID(), DestQPN: qb.QPN()})
+		}
+		ra = rate(p, cqa)
+		if left--; left == 0 {
+			env.Stop()
+		}
+	})
+	env.Go("b", func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			qb.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < count; i++ {
+			qb.PostSend(ib.SendWR{Op: ib.OpSend, Len: size, DestLID: a.LID(), DestQPN: qa.QPN()})
+		}
+		rb = rate(p, cqb)
+		if left--; left == 0 {
+			env.Stop()
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	return ra + rb
+}

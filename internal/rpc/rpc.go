@@ -1,0 +1,109 @@
+// Package rpc implements the ONC-RPC-style remote procedure layer NFS runs
+// on, with the two transports the paper compares (§2.3, §3.6):
+//
+//   - TCP transport: requests and replies are framed onto a TCP/IPoIB
+//     connection; bulk data travels inline through the socket, paying the
+//     full stack processing and copy costs.
+//   - RDMA transport: requests and replies are small verbs sends, while
+//     bulk data moves by direct data placement — the server RDMA-writes
+//     read data into client-advertised regions (and RDMA-reads write
+//     data), fragmented into 4 KB chunks as in the NFS/RDMA design the
+//     paper builds on ("the data is fragmented into 4K packets").
+//
+// Both transports support multiple outstanding calls (XID matching), which
+// is how a multi-threaded IOzone client scales throughput with streams.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Fragment is the RDMA direct-data-placement chunk size.
+const Fragment = 4096
+
+// headerBytes is the fixed RPC frame header: xid, proc, metaLen, bulkLen,
+// readLen.
+const headerBytes = 8 + 4 + 4 + 4 + 4
+
+// Request is one RPC call.
+type Request struct {
+	Proc uint32
+	Meta []byte // op-specific marshaled header (small, real bytes)
+	// Client-to-server bulk (e.g. NFS WRITE data): real bytes, or a
+	// synthetic length when WriteBulk is nil.
+	WriteBulk []byte
+	WriteLen  int
+	// Server-to-client bulk (e.g. NFS READ data): landing buffer (real)
+	// or synthetic capacity.
+	ReadBuf []byte
+	ReadLen int
+}
+
+func (r *Request) writeLen() int {
+	if r.WriteBulk != nil {
+		return len(r.WriteBulk)
+	}
+	return r.WriteLen
+}
+
+func (r *Request) readCap() int {
+	if r.ReadBuf != nil {
+		return len(r.ReadBuf)
+	}
+	return r.ReadLen
+}
+
+// Reply is the server's answer.
+type Reply struct {
+	Meta []byte
+	// Server-to-client bulk: real bytes or synthetic length.
+	Bulk    []byte
+	BulkLen int
+}
+
+func (r *Reply) bulkLen() int {
+	if r.Bulk != nil {
+		return len(r.Bulk)
+	}
+	return r.BulkLen
+}
+
+// Handler serves one call in its own server process (an nfsd thread).
+type Handler func(p *sim.Proc, req *Request) *Reply
+
+// Client issues calls over some transport.
+type Client interface {
+	// Call performs the RPC, blocking the calling process until the reply
+	// (and any bulk data) has arrived. It returns the reply metadata and
+	// the number of bulk bytes placed into ReadBuf.
+	Call(p *sim.Proc, req *Request) (*Reply, int)
+}
+
+// marshalHeader/unmarshalHeader frame the fixed fields.
+func marshalHeader(xid uint64, proc uint32, metaLen, bulkLen, readLen int) []byte {
+	b := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint64(b[0:], xid)
+	binary.LittleEndian.PutUint32(b[8:], proc)
+	binary.LittleEndian.PutUint32(b[12:], uint32(metaLen))
+	binary.LittleEndian.PutUint32(b[16:], uint32(bulkLen))
+	binary.LittleEndian.PutUint32(b[20:], uint32(readLen))
+	return b
+}
+
+func unmarshalHeader(b []byte) (xid uint64, proc uint32, metaLen, bulkLen, readLen int) {
+	xid = binary.LittleEndian.Uint64(b[0:])
+	proc = binary.LittleEndian.Uint32(b[8:])
+	metaLen = int(binary.LittleEndian.Uint32(b[12:]))
+	bulkLen = int(binary.LittleEndian.Uint32(b[16:]))
+	readLen = int(binary.LittleEndian.Uint32(b[20:]))
+	return
+}
+
+func check(cond bool, msg string) {
+	if !cond {
+		panic(fmt.Sprintf("rpc: %s", msg))
+	}
+}

@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// TCPClient multiplexes RPC calls over one TCP connection (as the Linux
+// NFS client does per mount: all threads share the transport, which is why
+// "streams" scale concurrency but share one TCP window).
+type TCPClient struct {
+	env     *sim.Env
+	conn    *tcpsim.Conn
+	nextXID uint64
+	pending map[uint64]*tcpCall
+	writeQ  *sim.Queue[*tcpCall]
+}
+
+type tcpCall struct {
+	xid   uint64
+	done  *sim.Event
+	req   *Request
+	reply *Reply
+	bulkN int
+}
+
+// NewTCPClient connects to the RPC server at (addr, port) over the stack.
+func NewTCPClient(p *sim.Proc, stack *tcpsim.Stack, addr ib.LID, port int) *TCPClient {
+	conn := stack.Dial(p, addr, port)
+	c := &TCPClient{
+		env:     stack.Env(),
+		conn:    conn,
+		pending: make(map[uint64]*tcpCall),
+		writeQ:  sim.NewQueue[*tcpCall](stack.Env(), 0),
+	}
+	// Writer: serializes request framing onto the shared connection.
+	c.env.Go("rpc-tcp-writer", func(pw *sim.Proc) {
+		for {
+			call := c.writeQ.Get(pw)
+			req := call.req
+			hdr := marshalHeader(call.xid, req.Proc, len(req.Meta), req.writeLen(), req.readCap())
+			c.conn.Write(pw, hdr)
+			if len(req.Meta) > 0 {
+				c.conn.Write(pw, req.Meta)
+			}
+			if req.WriteBulk != nil {
+				c.conn.Write(pw, req.WriteBulk)
+			} else if req.WriteLen > 0 {
+				c.conn.WriteSynthetic(pw, req.WriteLen)
+			}
+		}
+	})
+	// Reader: demultiplexes replies by XID.
+	c.env.Go("rpc-tcp-reader", func(pr *sim.Proc) {
+		for {
+			hdr := c.conn.ReadFull(pr, headerBytes)
+			xid, _, metaLen, bulkLen, _ := unmarshalHeader(hdr)
+			meta := c.conn.ReadFull(pr, metaLen)
+			call := c.pending[xid]
+			check(call != nil, "reply for unknown XID")
+			delete(c.pending, xid)
+			n := 0
+			if bulkLen > 0 {
+				bulk := c.conn.ReadFull(pr, bulkLen)
+				if call.req.ReadBuf != nil {
+					n = copy(call.req.ReadBuf, bulk)
+				} else {
+					n = bulkLen
+				}
+			}
+			call.reply = &Reply{Meta: meta, BulkLen: bulkLen}
+			call.bulkN = n
+			call.done.Trigger(nil)
+		}
+	})
+	return c
+}
+
+// Call implements Client. Multiple processes may call concurrently; the
+// transport multiplexes by XID.
+func (c *TCPClient) Call(p *sim.Proc, req *Request) (*Reply, int) {
+	c.nextXID++
+	call := &tcpCall{xid: c.nextXID, done: c.env.NewEvent(), req: req}
+	c.pending[call.xid] = call
+	c.writeQ.TryPut(call)
+	p.Wait(call.done)
+	return call.reply, call.bulkN
+}
+
+// TCPServer accepts RPC connections and dispatches each call to the
+// handler in its own process (an nfsd thread), bounded by the thread pool.
+// Replies are framed by a per-connection writer so concurrent handlers
+// never interleave bytes on the stream.
+type TCPServer struct {
+	stack   *tcpsim.Stack
+	handler Handler
+	threads *sim.Resource
+}
+
+type tcpReply struct {
+	xid   uint64
+	proc  uint32
+	reply *Reply
+}
+
+// ServeTCP starts an RPC server on the stack at the given port with the
+// given handler thread-pool size.
+func ServeTCP(stack *tcpsim.Stack, port int, threads int, h Handler) *TCPServer {
+	s := &TCPServer{stack: stack, handler: h, threads: sim.NewResource(stack.Env(), threads)}
+	ln := stack.Listen(port)
+	stack.Env().Go("rpc-tcp-accept", func(p *sim.Proc) {
+		for {
+			conn := ln.Accept(p)
+			s.serveConn(conn)
+		}
+	})
+	return s
+}
+
+func (s *TCPServer) serveConn(conn *tcpsim.Conn) {
+	env := s.stack.Env()
+	replies := sim.NewQueue[*tcpReply](env, 0)
+	// Reply writer: serializes reply frames.
+	env.Go("rpc-tcp-replier", func(p *sim.Proc) {
+		for {
+			r := replies.Get(p)
+			hdr := marshalHeader(r.xid, r.proc, len(r.reply.Meta), r.reply.bulkLen(), 0)
+			conn.Write(p, hdr)
+			if len(r.reply.Meta) > 0 {
+				conn.Write(p, r.reply.Meta)
+			}
+			if r.reply.Bulk != nil {
+				conn.Write(p, r.reply.Bulk)
+			} else if r.reply.BulkLen > 0 {
+				conn.WriteSynthetic(p, r.reply.BulkLen)
+			}
+		}
+	})
+	env.Go("rpc-tcp-serve", func(p *sim.Proc) {
+		for {
+			hdr := conn.ReadFull(p, headerBytes)
+			xid, proc, metaLen, bulkLen, readLen := unmarshalHeader(hdr)
+			meta := conn.ReadFull(p, metaLen)
+			var bulk []byte
+			if bulkLen > 0 {
+				bulk = conn.ReadFull(p, bulkLen)
+			}
+			req := &Request{Proc: proc, Meta: meta, WriteBulk: bulk, ReadLen: readLen}
+			env.Go("rpc-tcp-handler", func(ph *sim.Proc) {
+				s.threads.Acquire(ph)
+				defer s.threads.Release()
+				reply := s.handler(ph, req)
+				replies.TryPut(&tcpReply{xid: xid, proc: proc, reply: reply})
+			})
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// entry is a scheduled closure on the event heap.
+type entry struct {
+	at  Time
+	seq int64 // tie-breaker: FIFO among equal times
+	fn  func()
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h entryHeap) peek() *entry { return h[0] }
+func (h entryHeap) empty() bool  { return len(h) == 0 }
+
+// Env is a discrete-event simulation environment: a virtual clock, an event
+// heap and the set of live processes. An Env is not safe for concurrent use
+// from multiple OS-level goroutines other than through the Proc mechanism.
+type Env struct {
+	now     Time
+	queue   entryHeap
+	seq     int64
+	yield   chan struct{} // proc -> scheduler handoff
+	current *Proc
+	procs   map[*Proc]struct{} // live (started, not finished) processes
+	stopped bool               // set by Stop to end Run early
+	nprocs  int64              // counter for default proc names
+	fatal   string             // set when a process panics; re-raised by handoff
+}
+
+// NewEnv creates an empty simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues fn to run at absolute time at (>= e.now).
+func (e *Env) schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &entry{at: at, seq: e.seq, fn: fn})
+}
+
+// At schedules fn to be invoked (in scheduler context, not in a process) at
+// the given delay from now. It is the low-level hook used to build timers
+// and hardware models that do not need a full process.
+func (e *Env) At(delay Time, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now+delay, fn)
+}
+
+// Run executes scheduled work until the event heap is empty or Stop is
+// called, and returns the final virtual time. Processes still blocked when
+// the heap drains are left parked; call Shutdown to unwind them.
+func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes scheduled work until the heap is empty, Stop is called,
+// or the next entry would be after the horizon. The clock never advances
+// beyond horizon.
+func (e *Env) RunUntil(horizon Time) Time {
+	e.stopped = false
+	for !e.queue.empty() && !e.stopped {
+		if e.queue.peek().at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		ent := heap.Pop(&e.queue).(*entry)
+		e.now = ent.at
+		ent.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one scheduled entry and reports whether one existed.
+func (e *Env) Step() bool {
+	if e.queue.empty() {
+		return false
+	}
+	ent := heap.Pop(&e.queue).(*entry)
+	e.now = ent.at
+	ent.fn()
+	return true
+}
+
+// Pending returns the number of scheduled heap entries.
+func (e *Env) Pending() int { return len(e.queue) }
+
+// LiveProcs returns the number of started but unfinished processes.
+func (e *Env) LiveProcs() int { return len(e.procs) }
+
+// Stop halts Run/RunUntil after the current entry completes. It may be
+// called from process or callback context.
+func (e *Env) Stop() { e.stopped = true }
+
+// Shutdown forcibly kills every live process so their goroutines exit. It
+// must be called from outside process context (i.e., not from within a
+// Proc), typically after Run returns. The environment remains usable for
+// inspection but no further processes should be started.
+func (e *Env) Shutdown() {
+	for len(e.procs) > 0 {
+		// Pick the process with the smallest id for determinism.
+		var victim *Proc
+		for p := range e.procs {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		victim.Kill()
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+// Event is a one-shot occurrence that processes can wait on and callbacks
+// can subscribe to. An event carries an optional value delivered to waiters.
+type Event struct {
+	env       *Env
+	triggered bool
+	val       any
+	waiters   []*Proc
+	callbacks []func(any)
+}
+
+// NewEvent creates an untriggered event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Value returns the value the event was triggered with (nil if untriggered).
+func (ev *Event) Value() any { return ev.val }
+
+// Trigger fires the event with the given value. Waiting processes are
+// resumed, and callbacks invoked, at the current virtual time in
+// registration order. Triggering an already-triggered event panics: events
+// are one-shot by design (use Queue for streams of values).
+func (ev *Event) Trigger(v any) {
+	if ev.triggered {
+		panic("sim: event triggered twice")
+	}
+	ev.triggered = true
+	ev.val = v
+	waiters, callbacks := ev.waiters, ev.callbacks
+	ev.waiters, ev.callbacks = nil, nil
+	for _, w := range waiters {
+		w := w
+		ev.env.schedule(ev.env.now, func() {
+			if w.finished || w.killed {
+				return
+			}
+			ev.env.handoff(w, v)
+		})
+	}
+	for _, cb := range callbacks {
+		cb := cb
+		ev.env.schedule(ev.env.now, func() { cb(v) })
+	}
+}
+
+// TryTrigger fires the event if it has not fired yet and reports whether it
+// did. It is useful for idempotent completion paths (timeout vs. success).
+func (ev *Event) TryTrigger(v any) bool {
+	if ev.triggered {
+		return false
+	}
+	ev.Trigger(v)
+	return true
+}
+
+// onTrigger registers cb to run when the event fires; if it already fired,
+// cb is scheduled immediately.
+func (ev *Event) onTrigger(cb func(any)) {
+	if ev.triggered {
+		v := ev.val
+		ev.env.schedule(ev.env.now, func() { cb(v) })
+		return
+	}
+	ev.callbacks = append(ev.callbacks, cb)
+}
+
+// OnTrigger registers cb to run (in scheduler context) when the event fires.
+func (ev *Event) OnTrigger(cb func(any)) { ev.onTrigger(cb) }

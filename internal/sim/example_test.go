@@ -1,0 +1,60 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Two processes coordinating through an event: the classic DES pattern.
+func Example() {
+	env := sim.NewEnv()
+	ready := env.NewEvent()
+	env.Go("worker", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		ready.Trigger("result")
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		v := p.Wait(ready)
+		fmt.Printf("got %v at %v\n", v, p.Now())
+	})
+	env.Run()
+	// Output: got result at 5000ns
+}
+
+// A bounded queue provides backpressure between producer and consumer.
+func ExampleQueue() {
+	env := sim.NewEnv()
+	q := sim.NewQueue[int](env, 2)
+	env.Go("producer", func(p *sim.Proc) {
+		for i := 1; i <= 3; i++ {
+			q.Put(p, i)
+		}
+		fmt.Printf("producer done at %v\n", p.Now())
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * sim.Microsecond)
+			q.Get(p)
+		}
+	})
+	env.Run()
+	// Output: producer done at 10.00us
+}
+
+// A Resource models contended serial hardware.
+func ExampleResource() {
+	env := sim.NewEnv()
+	cpu := sim.NewResource(env, 1)
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Go("job", func(p *sim.Proc) {
+			cpu.Use(p, 3*sim.Microsecond)
+			fmt.Printf("job %d finished at %v\n", i, p.Now())
+		})
+	}
+	env.Run()
+	// Output:
+	// job 0 finished at 3000ns
+	// job 1 finished at 6000ns
+}

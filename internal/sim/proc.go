@@ -1,0 +1,189 @@
+package sim
+
+import "fmt"
+
+// killSignal is delivered to a process's resume channel to unwind it.
+type killSignal struct{}
+
+// Proc is a simulation process: a goroutine that runs cooperatively under
+// the environment's scheduler. At most one process (or the scheduler) runs
+// at any instant; a process only ever blocks in Wait, Sleep or the blocking
+// operations built on them.
+type Proc struct {
+	env      *Env
+	id       int64
+	name     string
+	resume   chan any // scheduler -> process, carries the wait value
+	done     *Event   // triggered with the process result when it returns
+	finished bool
+	killed   bool
+}
+
+// Go starts a new process executing fn. The process body receives its own
+// Proc handle, through which it sleeps and waits. fn begins executing at the
+// current virtual time, after already-scheduled work for this instant.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	e.nprocs++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", e.nprocs)
+	}
+	p := &Proc{
+		env:    e,
+		id:     e.nprocs,
+		name:   name,
+		resume: make(chan any),
+		done:   e.NewEvent(),
+	}
+	e.procs[p] = struct{}{}
+	go p.run(fn)
+	e.schedule(e.now, func() {
+		if p.killed || p.finished {
+			return
+		}
+		e.handoff(p, nil)
+	})
+	return p
+}
+
+// run is the goroutine body wrapping the user function.
+func (p *Proc) run(fn func(p *Proc)) {
+	// Park until first activation.
+	v := <-p.resume
+	if _, dead := v.(killSignal); dead {
+		p.exit()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, dead := r.(killSignal); dead {
+				p.exit()
+				return
+			}
+			// A genuine panic in simulation code: surface it on the
+			// scheduler side rather than crashing a bare goroutine.
+			p.finished = true
+			delete(p.env.procs, p)
+			p.env.fatal = fmt.Sprintf("sim: panic in process %q: %v", p.name, r)
+			p.env.yield <- struct{}{}
+			return
+		}
+	}()
+	fn(p)
+	p.finished = true
+	delete(p.env.procs, p)
+	p.done.Trigger(nil)
+	p.env.yield <- struct{}{}
+}
+
+// exit unwinds a killed process.
+func (p *Proc) exit() {
+	p.finished = true
+	delete(p.env.procs, p)
+	p.done.Trigger(nil)
+	p.env.yield <- struct{}{}
+}
+
+// handoff transfers control to process p, delivering v as the value its
+// pending Wait returns, and blocks until p yields back.
+func (e *Env) handoff(p *Proc, v any) {
+	prev := e.current
+	e.current = p
+	p.resume <- v
+	<-e.yield
+	e.current = prev
+	if e.fatal != "" {
+		msg := e.fatal
+		e.fatal = ""
+		panic(msg)
+	}
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event triggered when the process function returns or the
+// process is killed.
+func (p *Proc) Done() *Event { return p.done }
+
+// Finished reports whether the process has returned or been killed.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Kill forcibly unwinds the process (its deferred functions run). Killing a
+// finished process is a no-op. A process must not kill itself; return from
+// the process function instead.
+func (p *Proc) Kill() {
+	if p.finished {
+		return
+	}
+	if p.env.current == p {
+		panic("sim: process cannot Kill itself")
+	}
+	p.killed = true
+	p.env.handoff(p, killSignal{})
+}
+
+// yield parks the process and returns the value delivered at resumption.
+func (p *Proc) yield() any {
+	p.env.yield <- struct{}{}
+	v := <-p.resume
+	if _, dead := v.(killSignal); dead {
+		panic(killSignal{})
+	}
+	return v
+}
+
+// Wait blocks the process until ev triggers and returns the event's value.
+// If the event already triggered, Wait returns immediately without yielding.
+func (p *Proc) Wait(ev *Event) any {
+	if p.env.current != p {
+		panic("sim: Wait called from outside process context")
+	}
+	if ev.Triggered() {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.yield()
+}
+
+// Sleep blocks the process for d units of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	ev := p.env.NewEvent()
+	p.env.At(d, func() { ev.Trigger(nil) })
+	p.Wait(ev)
+}
+
+// WaitAll blocks until every event in evs has triggered.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// WaitAny blocks until at least one of evs triggers, returning the index and
+// value of the first event (in evs order) found triggered when the process
+// resumes.
+func (p *Proc) WaitAny(evs ...*Event) (int, any) {
+	for {
+		for i, ev := range evs {
+			if ev.Triggered() {
+				return i, ev.val
+			}
+		}
+		first := p.env.NewEvent()
+		for _, ev := range evs {
+			ev.onTrigger(func(v any) {
+				first.TryTrigger(v)
+			})
+		}
+		p.Wait(first)
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+// Queue is an unbounded-or-bounded FIFO channel between processes. A zero
+// capacity means unbounded. Put blocks while the queue is full (bounded
+// queues only); Get blocks while it is empty. Ordering among blocked
+// processes is FIFO, which keeps the simulation deterministic.
+type Queue[T any] struct {
+	env     *Env
+	cap     int // 0 = unbounded
+	items   []T
+	getters []*Event // waiting receivers, FIFO
+	putters []*Event // waiting senders, FIFO (bounded only)
+}
+
+// NewQueue creates a queue with the given capacity; capacity 0 means
+// unbounded.
+func NewQueue[T any](env *Env, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("sim: negative queue capacity")
+	}
+	return &Queue[T]{env: env, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v, blocking while a bounded queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		ev := q.env.NewEvent()
+		q.putters = append(q.putters, ev)
+		p.Wait(ev)
+	}
+	q.push(v)
+}
+
+// TryPut appends v without blocking and reports whether it fit.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.push(v)
+	return true
+}
+
+func (q *Queue[T]) push(v T) {
+	q.items = append(q.items, v)
+	if len(q.getters) > 0 {
+		ev := q.getters[0]
+		q.getters = q.getters[1:]
+		ev.Trigger(nil)
+	}
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		ev := q.env.NewEvent()
+		q.getters = append(q.getters, ev)
+		p.Wait(ev)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		ev := q.putters[0]
+		q.putters = q.putters[1:]
+		ev.Trigger(nil)
+	}
+	return v
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		ev := q.putters[0]
+		q.putters = q.putters[1:]
+		ev.Trigger(nil)
+	}
+	return v, true
+}
+
+// Resource is a counting semaphore with FIFO queuing, used to model
+// contended hardware such as a node CPU or a DMA engine.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Event // FIFO
+}
+
+// NewResource creates a resource with the given number of slots.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Acquire blocks until a slot is free and claims it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		ev := r.env.NewEvent()
+		r.waiters = append(r.waiters, ev)
+		p.Wait(ev)
+	}
+	r.inUse++
+}
+
+// Release frees a slot previously claimed with Acquire.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of unacquired resource")
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		ev := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		ev.Trigger(nil)
+	}
+}
+
+// Use runs the resource for d time on behalf of p: acquire, hold for d,
+// release. It models a serial processing element.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse returns the number of currently claimed slots.
+func (r *Resource) InUse() int { return r.inUse }

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a block-character strip scaled to [0, max].
+// Missing cells (NaN encoding is not used; absent x values are simply not
+// in the series) never occur here because series store dense y slices.
+func Sparkline(ys []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := int(y / max * float64(len(sparkRunes)))
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// RenderChart writes the table as one sparkline per series, scaled to the
+// table-wide maximum, with the numeric extremes annotated. It reads well in
+// a terminal where a full plot would not fit.
+func (t *Table) RenderChart(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "%s over %s", t.YLabel, t.XLabel)
+	xs := t.xValues()
+	if len(xs) > 0 {
+		fmt.Fprintf(w, " [%s .. %s]", FormatX(xs[0]), FormatX(xs[len(xs)-1]))
+	}
+	fmt.Fprintln(w)
+	max := 0.0
+	labelW := 0
+	for _, s := range t.Series {
+		if m := s.Max(); m > max {
+			max = m
+		}
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	for _, s := range t.Series {
+		// Align the series on the shared x grid.
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			if y, ok := s.At(x); ok {
+				ys[i] = y
+			}
+		}
+		lo, hi := minMax(s.Y)
+		fmt.Fprintf(w, "  %-*s %s  min %.4g  max %.4g\n", labelW, s.Label, Sparkline(ys, max), lo, hi)
+	}
+	fmt.Fprintln(w)
+}
+
+func minMax(ys []float64) (lo, hi float64) {
+	if len(ys) == 0 {
+		return 0, 0
+	}
+	lo, hi = ys[0], ys[0]
+	for _, y := range ys[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAddAt(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.At(2); !ok || y != 20 {
+		t.Errorf("At(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.At(3); ok {
+		t.Error("At(3) should be absent")
+	}
+	if s.Max() != 20 {
+		t.Errorf("Max = %v", s.Max())
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[float64]string{
+		1:         "1",
+		512:       "512",
+		1024:      "1K",
+		65536:     "64K",
+		1 << 20:   "1M",
+		4 << 20:   "4M",
+		1500:      "1500",
+		2.5:       "2.5",
+		100000:    "100000",
+		1024 * 10: "10K",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Test Table", "Size", "BW")
+	a := tab.AddSeries("alpha")
+	a.Add(1024, 100)
+	a.Add(2048, 200)
+	b := tab.AddSeries("beta")
+	b.Add(1024, 50)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Test Table", "alpha", "beta", "1K", "2K", "100.00", "50.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell rendered as '-'.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cell not dashed:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("T", "x", "y")
+	s := tab.AddSeries("with,comma")
+	s.Add(1, 2)
+	var sb strings.Builder
+	tab.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("CSV escaping failed:\n%s", out)
+	}
+	if !strings.Contains(out, "1,2") {
+		t.Errorf("CSV row missing:\n%s", out)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	got := Sizes(2, 16)
+	want := []int{2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v", got)
+		}
+	}
+}
+
+// Property: x values render and the table lists them sorted.
+func TestPropXValuesSorted(t *testing.T) {
+	f := func(xs []uint16) bool {
+		tab := NewTable("p", "x", "y")
+		s := tab.AddSeries("s")
+		for _, x := range xs {
+			if _, ok := s.At(float64(x)); !ok {
+				s.Add(float64(x), 1)
+			}
+		}
+		vals := tab.xValues()
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 50, 100}, 100)
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil, 0) != "" {
+		t.Error("empty sparkline")
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	tab := NewTable("Chart", "Size", "BW")
+	s := tab.AddSeries("alpha")
+	s.Add(1, 10)
+	s.Add(2, 100)
+	var sb strings.Builder
+	tab.RenderChart(&sb)
+	out := sb.String()
+	for _, want := range []string{"Chart", "alpha", "min 10", "max 100", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package tcpsim
+
+import (
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Segment flags.
+const (
+	synFlag = 1 << iota
+	ackFlag
+	finFlag
+)
+
+// segment is one TCP segment. Headers ride as struct fields; the simulated
+// wire length is length+HeaderBytes.
+type segment struct {
+	srcAddr, dst     ib.LID
+	srcPort, dstPort int
+	flags            int
+	seq, ack         int64
+	wnd              int    // advertised window (SYN/SYNACK and acks)
+	length           int    // payload bytes
+	spans            []span // payload runs (real or synthetic), in order
+}
+
+// span is a run of stream bytes, possibly synthetic.
+type span struct {
+	data   []byte
+	length int
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack                 *Stack
+	remote                ib.LID
+	remotePort, localPort int
+
+	established *sim.Event
+
+	// Sender state.
+	sndUna, sndNxt int64
+	cwnd           int
+	swnd           int // peer's advertised window
+	sendQ          []span
+	sendQBytes     int
+	unacked        []*segment // retransmission queue (go-back-N)
+	writeWaiters   []*sim.Event
+	rtoGen         int
+
+	// Receiver state.
+	rcvNxt      int64
+	recvBuf     []span
+	recvBytes   int
+	readWaiters []*sim.Event
+
+	// Counters.
+	delivered   int64 // in-order payload bytes accepted (receive side)
+	retransmits int64
+}
+
+func newConn(s *Stack, remote ib.LID, remotePort, localPort int) *Conn {
+	return &Conn{
+		stack:       s,
+		remote:      remote,
+		remotePort:  remotePort,
+		localPort:   localPort,
+		established: s.env.NewEvent(),
+		cwnd:        InitialCwnd * s.MSS(),
+		swnd:        s.cfg.Window, // refined by SYN/SYNACK exchange
+	}
+}
+
+func (c *Conn) key() connKey {
+	return connKey{remote: c.remote, remotePort: c.remotePort, localPort: c.localPort}
+}
+
+// Stack returns the owning stack.
+func (c *Conn) Stack() *Stack { return c.stack }
+
+// Delivered returns the count of in-order payload bytes this endpoint has
+// accepted from the peer (whether or not Read has consumed them). It is the
+// throughput counter used by the benchmarks.
+func (c *Conn) Delivered() int64 { return c.delivered }
+
+// Retransmits returns the number of go-back-N recoveries.
+func (c *Conn) Retransmits() int64 { return c.retransmits }
+
+// window is the current effective send window.
+func (c *Conn) window() int {
+	w := c.cwnd
+	if c.swnd < w {
+		w = c.swnd
+	}
+	return w
+}
+
+// sendBufCap bounds application writes ahead of the window.
+func (c *Conn) sendBufCap() int { return 2 * c.stack.cfg.Window }
+
+// Write queues real payload bytes on the stream, blocking while the send
+// buffer is full.
+func (c *Conn) Write(p *sim.Proc, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	d := make([]byte, len(data))
+	copy(d, data)
+	c.write(p, span{data: d, length: len(d)})
+}
+
+// WriteSynthetic queues n synthetic payload bytes (zeroes at the receiver),
+// for traffic generation without byte-copy costs in the host simulator.
+func (c *Conn) WriteSynthetic(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	c.write(p, span{length: n})
+}
+
+func (c *Conn) write(p *sim.Proc, sp span) {
+	for c.sendQBytes >= c.sendBufCap() {
+		ev := c.stack.env.NewEvent()
+		c.writeWaiters = append(c.writeWaiters, ev)
+		p.Wait(ev)
+	}
+	c.sendQ = append(c.sendQ, sp)
+	c.sendQBytes += sp.length
+	c.pump()
+}
+
+// Read blocks until stream bytes are available and returns up to max of
+// them (synthetic spans materialize as zero bytes).
+func (c *Conn) Read(p *sim.Proc, max int) []byte {
+	for c.recvBytes == 0 {
+		ev := c.stack.env.NewEvent()
+		c.readWaiters = append(c.readWaiters, ev)
+		p.Wait(ev)
+	}
+	n := c.recvBytes
+	if n > max {
+		n = max
+	}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		sp := &c.recvBuf[0]
+		take := n - len(out)
+		if take > sp.length {
+			take = sp.length
+		}
+		if sp.data != nil {
+			out = append(out, sp.data[:take]...)
+			sp.data = sp.data[take:]
+		} else {
+			out = append(out, make([]byte, take)...)
+		}
+		sp.length -= take
+		if sp.length == 0 {
+			c.recvBuf = c.recvBuf[1:]
+		}
+	}
+	c.recvBytes -= n
+	return out
+}
+
+// ReadFull blocks until exactly n bytes are available and returns them.
+func (c *Conn) ReadFull(p *sim.Proc, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		out = append(out, c.Read(p, n-len(out))...)
+	}
+	return out
+}
+
+// pump segments queued stream bytes into the transmit context while the
+// window has room. Segments are packed to the MSS across application write
+// boundaries, and a sub-MSS segment is only emitted when it drains the send
+// queue or nothing is in flight — the standard defense against silly-window
+// fragmentation (without it, per-segment costs at odd sizes dominate).
+func (c *Conn) pump() {
+	if !c.established.Triggered() {
+		return
+	}
+	mss := c.stack.MSS()
+	for c.sendQBytes > 0 {
+		inflight := int(c.sndNxt - c.sndUna)
+		room := c.window() - inflight
+		if room <= 0 {
+			break
+		}
+		n := min(mss, c.sendQBytes, room)
+		if n < mss && n < c.sendQBytes && inflight > 0 {
+			// Partial segment while more data and acks are pending:
+			// wait for the window to open rather than fragment.
+			break
+		}
+		seg := &segment{
+			srcAddr: c.stack.Addr(), dst: c.remote,
+			srcPort: c.localPort, dstPort: c.remotePort,
+			flags: ackFlag, seq: c.sndNxt, ack: c.rcvNxt,
+			wnd: c.stack.cfg.Window, length: n,
+		}
+		// Pack n bytes from the head spans.
+		left := n
+		for left > 0 {
+			sp := &c.sendQ[0]
+			take := min(left, sp.length)
+			if sp.data != nil {
+				seg.spans = append(seg.spans, span{data: sp.data[:take], length: take})
+				sp.data = sp.data[take:]
+			} else {
+				seg.spans = append(seg.spans, span{length: take})
+			}
+			sp.length -= take
+			left -= take
+			if sp.length == 0 {
+				c.sendQ = c.sendQ[1:]
+			}
+		}
+		c.sendQBytes -= n
+		c.sndNxt += int64(n)
+		c.unacked = append(c.unacked, seg)
+		c.stack.txq.TryPut(seg)
+		if len(c.unacked) == 1 {
+			c.armRTO()
+		}
+	}
+	// Wake writers if buffer space opened up.
+	for len(c.writeWaiters) > 0 && c.sendQBytes < c.sendBufCap() {
+		ev := c.writeWaiters[0]
+		c.writeWaiters = c.writeWaiters[1:]
+		ev.Trigger(nil)
+	}
+}
+
+// sendCtl emits a control segment (SYN, SYN|ACK, pure ACK).
+func (c *Conn) sendCtl(flags int) {
+	seg := &segment{
+		srcAddr: c.stack.Addr(), dst: c.remote,
+		srcPort: c.localPort, dstPort: c.remotePort,
+		flags: flags, seq: c.sndNxt, ack: c.rcvNxt,
+		wnd: c.stack.cfg.Window,
+	}
+	c.stack.txq.TryPut(seg)
+}
+
+// handle processes an inbound segment (already charged receive CPU).
+func (c *Conn) handle(seg *segment) {
+	switch {
+	case seg.flags&synFlag != 0 && seg.flags&ackFlag != 0:
+		// Client side: SYNACK.
+		c.swnd = seg.wnd
+		c.sendCtl(ackFlag)
+		if !c.established.Triggered() {
+			c.established.Trigger(nil)
+		}
+		c.pump()
+		return
+	case seg.flags&synFlag != 0:
+		return // handled by dispatch (listener path)
+	}
+	if !c.established.Triggered() {
+		// Server side: first ACK completes the handshake.
+		c.swnd = seg.wnd
+		c.established.Trigger(nil)
+	}
+	if seg.length > 0 {
+		c.handleData(seg)
+	}
+	c.handleAck(seg.ack)
+}
+
+func (c *Conn) handleData(seg *segment) {
+	switch {
+	case seg.seq == c.rcvNxt:
+		c.rcvNxt += int64(seg.length)
+		c.delivered += int64(seg.length)
+		c.recvBuf = append(c.recvBuf, seg.spans...)
+		c.recvBytes += seg.length
+		for len(c.readWaiters) > 0 {
+			ev := c.readWaiters[0]
+			c.readWaiters = c.readWaiters[1:]
+			ev.Trigger(nil)
+		}
+	case seg.seq < c.rcvNxt:
+		// Duplicate from a retransmission: ack again below.
+	default:
+		// Gap (a predecessor was dropped): go-back-N discards.
+	}
+	c.sendCtl(ackFlag)
+}
+
+func (c *Conn) handleAck(ackNum int64) {
+	if ackNum <= c.sndUna {
+		return
+	}
+	acked := int(ackNum - c.sndUna)
+	c.sndUna = ackNum
+	for len(c.unacked) > 0 && c.unacked[0].seq+int64(c.unacked[0].length) <= ackNum {
+		c.unacked = c.unacked[1:]
+	}
+	// Slow start toward the window ceiling (the fabric is lossless, so no
+	// congestion events occur and cwnd rises monotonically).
+	if c.cwnd < c.stack.cfg.Window {
+		c.cwnd += acked
+		if c.cwnd > c.stack.cfg.Window {
+			c.cwnd = c.stack.cfg.Window
+		}
+	}
+	c.rtoGen++
+	if len(c.unacked) > 0 {
+		c.armRTO()
+	}
+	c.pump()
+}
+
+// rto is the retransmission timeout. The fabric is FIFO and lossless, so
+// this only fires under fault injection; a generous fixed timeout keeps the
+// model simple.
+const rto = 50 * sim.Millisecond
+
+func (c *Conn) armRTO() {
+	gen := c.rtoGen
+	c.stack.env.At(rto, func() {
+		if gen != c.rtoGen || len(c.unacked) == 0 {
+			return
+		}
+		// Go-back-N: resend everything outstanding.
+		c.retransmits++
+		c.rtoGen++
+		for _, seg := range c.unacked {
+			c.stack.txq.TryPut(seg)
+		}
+		c.armRTO()
+	})
+}

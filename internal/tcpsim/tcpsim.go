@@ -1,0 +1,207 @@
+// Package tcpsim models the TCP/IP stack running over IPoIB interfaces. It
+// reproduces the two mechanisms that govern the paper's IPoIB results
+// (§3.3):
+//
+//   - Host stack processing: every segment costs per-packet and per-byte
+//     CPU time in serialized transmit and receive contexts (one softirq
+//     context per interface, as in a 2008-era kernel). This caps IPoIB-UD
+//     (2 KB MTU) near 450 MB/s and IPoIB-RC (64 KB MTU) near 890 MB/s,
+//     well under verbs rates — matching the paper's observation that "the
+//     peak bandwidth that IPoIB UD achieves is significantly lower than
+//     the peak verbs-level UD bandwidth due to the TCP stack processing
+//     overhead".
+//   - Window-based flow control: at most min(cwnd, advertised window)
+//     bytes may be unacknowledged, so single-stream throughput collapses
+//     once the WAN bandwidth-delay product exceeds the window — and
+//     parallel streams, each with its own window, recover the loss
+//     (paper Figs. 6 and 7).
+package tcpsim
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/ipoib"
+	"repro/internal/sim"
+)
+
+// Protocol constants.
+const (
+	// HeaderBytes is the TCP+IP header size per segment.
+	HeaderBytes = 40
+	// DefaultWindow models the stack's auto-tuned window (the paper's
+	// "default" curve): large enough to cover moderate-delay links, too
+	// small for the largest WAN separations.
+	DefaultWindow = 768 << 10
+	// InitialCwnd is the initial congestion window in segments.
+	InitialCwnd = 4
+)
+
+// Host processing costs, calibrated so IPoIB-UD peaks ~450 MB/s and
+// IPoIB-RC (64 KB MTU) ~890 MB/s as in the paper's figures.
+const (
+	// PerPacketCPU is the fixed cost of pushing one segment through the
+	// stack (interrupt, demux, protocol processing).
+	PerPacketCPU = 2270 * sim.Nanosecond
+	// PerByteCPUNanos is the copy/checksum cost per byte, in nanoseconds.
+	PerByteCPUNanos = 1.09
+)
+
+// segCPU is the stack processing time for a segment with the given payload.
+func segCPU(payload int) sim.Time {
+	return PerPacketCPU + sim.Time(float64(payload+HeaderBytes)*PerByteCPUNanos)
+}
+
+// Config tunes a stack.
+type Config struct {
+	// Window is the advertised receive window and congestion window
+	// ceiling in bytes (0 = DefaultWindow).
+	Window int
+}
+
+type connKey struct {
+	remote                ib.LID
+	remotePort, localPort int
+}
+
+// Stack is the TCP/IP instance bound to one IPoIB interface.
+type Stack struct {
+	env       *sim.Env
+	dev       *ipoib.NetDev
+	cfg       Config
+	listeners map[int]*Listener
+	conns     map[connKey]*Conn
+	nextPort  int
+	txq       *sim.Queue[*segment]
+	rxq       *sim.Queue[*segment]
+	stats     StackStats
+}
+
+// StackStats counts stack activity, for utilization analysis.
+type StackStats struct {
+	TxSegments, RxSegments int64
+	TxBytes, RxBytes       int64
+	TxBusy, RxBusy         sim.Time // cumulative processing time
+}
+
+// NewStack binds a TCP stack to an IPoIB interface and starts its transmit
+// and receive contexts.
+func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	s := &Stack{
+		env:       dev.Env(),
+		dev:       dev,
+		cfg:       cfg,
+		listeners: make(map[int]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  40000,
+		txq:       sim.NewQueue[*segment](dev.Env(), 0),
+		rxq:       sim.NewQueue[*segment](dev.Env(), 0),
+	}
+	dev.SetHandler(func(src ib.LID, payload any, length int) {
+		seg, ok := payload.(*segment)
+		if !ok {
+			return // not TCP traffic
+		}
+		s.rxq.TryPut(seg)
+	})
+	name := fmt.Sprintf("tcp-%d", dev.LID())
+	// Transmit context: serialized per-segment send processing.
+	s.env.Go(name+"-tx", func(p *sim.Proc) {
+		for {
+			seg := s.txq.Get(p)
+			c := segCPU(seg.length)
+			s.stats.TxSegments++
+			s.stats.TxBytes += int64(seg.length)
+			s.stats.TxBusy += c
+			p.Sleep(c)
+			s.dev.Send(seg.dst, seg, seg.length+HeaderBytes)
+		}
+	})
+	// Receive context (softirq): serialized per-segment receive
+	// processing for every flow on the interface.
+	s.env.Go(name+"-rx", func(p *sim.Proc) {
+		for {
+			seg := s.rxq.Get(p)
+			c := segCPU(seg.length)
+			s.stats.RxSegments++
+			s.stats.RxBytes += int64(seg.length)
+			s.stats.RxBusy += c
+			p.Sleep(c)
+			s.dispatch(seg)
+		}
+	})
+	return s
+}
+
+// Stats returns a snapshot of the stack counters.
+func (s *Stack) Stats() StackStats { return s.stats }
+
+// Env returns the simulation environment.
+func (s *Stack) Env() *sim.Env { return s.env }
+
+// Addr returns the stack's network address (the interface LID).
+func (s *Stack) Addr() ib.LID { return s.dev.LID() }
+
+// MSS returns the maximum segment payload for this interface.
+func (s *Stack) MSS() int { return s.dev.MTU() - HeaderBytes }
+
+// Window returns the configured window in bytes.
+func (s *Stack) Window() int { return s.cfg.Window }
+
+// Listen opens a listening socket on the port.
+func (s *Stack) Listen(port int) *Listener {
+	if _, dup := s.listeners[port]; dup {
+		panic(fmt.Sprintf("tcpsim: port %d already listening", port))
+	}
+	l := &Listener{stack: s, port: port, backlog: sim.NewQueue[*Conn](s.env, 0)}
+	s.listeners[port] = l
+	return l
+}
+
+// Dial opens a connection to the remote stack and blocks until the
+// three-way handshake completes.
+func (s *Stack) Dial(p *sim.Proc, remote ib.LID, port int) *Conn {
+	s.nextPort++
+	c := newConn(s, remote, port, s.nextPort)
+	s.conns[c.key()] = c
+	c.sendCtl(synFlag)
+	p.Wait(c.established)
+	return c
+}
+
+// dispatch routes an inbound segment to its connection or listener.
+func (s *Stack) dispatch(seg *segment) {
+	key := connKey{remote: seg.srcAddr, remotePort: seg.srcPort, localPort: seg.dstPort}
+	if c, ok := s.conns[key]; ok {
+		c.handle(seg)
+		return
+	}
+	if seg.flags&synFlag != 0 && seg.flags&ackFlag == 0 {
+		if l, ok := s.listeners[seg.dstPort]; ok {
+			c := newConn(s, seg.srcAddr, seg.srcPort, seg.dstPort)
+			c.swnd = seg.wnd
+			s.conns[key] = c
+			c.sendCtl(synFlag | ackFlag)
+			l.backlog.TryPut(c)
+			return
+		}
+	}
+	// No socket: drop silently (no RST modeling needed).
+}
+
+// Listener accepts inbound connections.
+type Listener struct {
+	stack   *Stack
+	port    int
+	backlog *sim.Queue[*Conn]
+}
+
+// Accept blocks until a connection arrives and returns it once established.
+func (l *Listener) Accept(p *sim.Proc) *Conn {
+	c := l.backlog.Get(p)
+	p.Wait(c.established)
+	return c
+}

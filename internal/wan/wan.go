@@ -1,0 +1,115 @@
+// Package wan models the Obsidian Longbow XR InfiniBand range extenders
+// used in the paper. A Longbow pair appears to the subnet as two two-ported
+// switches bridging the clusters (paper Fig. 2): traffic crosses the WAN
+// hop at SDR rate, each device adds a forwarding latency, and a
+// web-configurable delay knob emulates wire length at 5 us/km.
+package wan
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// ForwardingDelay is the per-Longbow store-and-forward latency. The paper
+// measures the pair adding ~5 us over back-to-back nodes (Fig. 3).
+const ForwardingDelay = 2500 * sim.Nanosecond
+
+// MicrosPerKM is the wire propagation delay per kilometer (paper Table 1:
+// "a latency addition of about 5 us per km of distance is observed").
+const MicrosPerKM = 5.0
+
+// WANRate is the data rate the Longbows sustain across the WAN link: SDR,
+// 8 Gbit/s ("the Longbows can essentially support IB traffic at SDR rates").
+const WANRate = ib.SDR
+
+// DelayForDistance returns the one-way WAN delay emulating a wire of the
+// given length in kilometers (paper Table 1).
+func DelayForDistance(km float64) sim.Time {
+	if km < 0 {
+		panic("wan: negative distance")
+	}
+	return sim.Micros(km * MicrosPerKM)
+}
+
+// DistanceForDelay inverts DelayForDistance.
+func DistanceForDelay(d sim.Time) float64 {
+	return d.Microseconds() / MicrosPerKM
+}
+
+// Longbow is one WAN extender device. On the fabric it behaves as a switch
+// with a larger forwarding latency.
+type Longbow struct {
+	sw   *ib.Switch
+	name string
+}
+
+// Device returns the fabric device to connect links to.
+func (l *Longbow) Device() *ib.Switch { return l.sw }
+
+// Name returns the device name.
+func (l *Longbow) Name() string { return l.name }
+
+// Pair is two Longbows joined by the long-haul link. It exposes the delay
+// knob the paper drives through the routers' web interface.
+type Pair struct {
+	A, B *Longbow
+	link *ib.Link
+}
+
+// NewPair creates two Longbows on the fabric and joins them with an SDR WAN
+// link with the given one-way delay. The caller connects each Longbow's
+// cluster-side to a cluster switch or HCA.
+func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
+	a := &Longbow{name: name + "-A", sw: f.AddSwitch(name+"-A", ForwardingDelay)}
+	b := &Longbow{name: name + "-B", sw: f.AddSwitch(name+"-B", ForwardingDelay)}
+	link := f.Connect(a.sw, b.sw, WANRate, delay)
+	return &Pair{A: a, B: b, link: link}
+}
+
+// SetDelay sets the one-way WAN delay (the emulated-distance knob).
+func (p *Pair) SetDelay(d sim.Time) { p.link.SetDelay(d) }
+
+// SetDistanceKM sets the delay from an emulated wire length.
+func (p *Pair) SetDistanceKM(km float64) { p.link.SetDelay(DelayForDistance(km)) }
+
+// Delay returns the configured one-way WAN delay.
+func (p *Pair) Delay() sim.Time { return p.link.Delay() }
+
+// DistanceKM returns the emulated wire length for the configured delay.
+func (p *Pair) DistanceKM() float64 { return DistanceForDelay(p.link.Delay()) }
+
+// Link exposes the WAN link for fault injection in tests.
+func (p *Pair) Link() *ib.Link { return p.link }
+
+// String describes the pair.
+func (p *Pair) String() string {
+	return fmt.Sprintf("LongbowPair(delay=%v, %.0f km)", p.Delay(), p.DistanceKM())
+}
+
+// DelayStep is one entry of a dynamic delay schedule.
+type DelayStep struct {
+	At    sim.Time // absolute virtual time the new delay takes effect
+	Delay sim.Time // one-way delay from then on
+}
+
+// ScheduleDelays arms a time-varying delay on the WAN link — the paper
+// notes that "WAN separations often vary and can be dynamic in nature".
+// Packets in flight keep the delay they departed with; later packets see
+// the new value. Steps must be sorted by time.
+func (p *Pair) ScheduleDelays(env *sim.Env, steps []DelayStep) {
+	now := env.Now()
+	var last sim.Time = -1
+	for _, s := range steps {
+		if s.At < now {
+			panic("wan: delay step in the past")
+		}
+		if s.At < last {
+			panic("wan: delay steps out of order")
+		}
+		last = s.At
+		d := s.Delay
+		env.At(s.At-now, func() { p.SetDelay(d) })
+	}
+}

@@ -1,0 +1,116 @@
+package wan
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+func TestDelayDistanceMapping(t *testing.T) {
+	// Paper Table 1.
+	cases := []struct {
+		km   float64
+		want sim.Time
+	}{
+		{10, sim.Micros(50)},
+		{20, sim.Micros(100)},
+		{200, sim.Micros(1000)},
+		{2000, sim.Micros(10000)},
+		{20000, sim.Micros(100000)},
+	}
+	for _, c := range cases {
+		if got := DelayForDistance(c.km); got != c.want {
+			t.Errorf("DelayForDistance(%v) = %v, want %v", c.km, got, c.want)
+		}
+		if got := DistanceForDelay(c.want); got != c.km {
+			t.Errorf("DistanceForDelay(%v) = %v, want %v", c.want, got, c.km)
+		}
+	}
+}
+
+func TestNegativeDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	DelayForDistance(-1)
+}
+
+func TestPairDelayKnob(t *testing.T) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	p := NewPair(f, "lb", 0)
+	if p.Delay() != 0 {
+		t.Fatalf("initial delay = %v", p.Delay())
+	}
+	p.SetDistanceKM(200)
+	if p.Delay() != sim.Micros(1000) {
+		t.Errorf("delay after SetDistanceKM(200) = %v, want 1ms", p.Delay())
+	}
+	if p.DistanceKM() != 200 {
+		t.Errorf("DistanceKM = %v, want 200", p.DistanceKM())
+	}
+	p.SetDelay(sim.Micros(42))
+	if p.Delay() != sim.Micros(42) {
+		t.Errorf("delay = %v, want 42us", p.Delay())
+	}
+}
+
+func TestScheduleDelays(t *testing.T) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	p := NewPair(f, "lb", sim.Micros(10))
+	p.ScheduleDelays(env, []DelayStep{
+		{At: sim.Micros(100), Delay: sim.Micros(500)},
+		{At: sim.Micros(200), Delay: sim.Micros(50)},
+	})
+	env.RunUntil(sim.Micros(150))
+	if p.Delay() != sim.Micros(500) {
+		t.Errorf("delay at t=150us = %v, want 500us", p.Delay())
+	}
+	env.Run()
+	if p.Delay() != sim.Micros(50) {
+		t.Errorf("final delay = %v, want 50us", p.Delay())
+	}
+}
+
+func TestScheduleDelaysOutOfOrderPanics(t *testing.T) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	p := NewPair(f, "lb", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order steps did not panic")
+		}
+	}()
+	p.ScheduleDelays(env, []DelayStep{
+		{At: sim.Micros(200), Delay: 0},
+		{At: sim.Micros(100), Delay: 0},
+	})
+}
+
+func TestWANDelayAppliesToTraffic(t *testing.T) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	a, b := f.AddHCA("a"), f.AddHCA("b")
+	p := NewPair(f, "lb", sim.Micros(500))
+	f.Connect(a, p.A.Device(), ib.DDR, ib.DefaultCableDelay)
+	f.Connect(p.B.Device(), b, ib.DDR, ib.DefaultCableDelay)
+	f.Finalize()
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{})
+	var arrival sim.Time
+	env.Go("recv", func(pr *sim.Proc) {
+		qb.PostRecv(ib.RecvWR{})
+		qb.CQ().Poll(pr)
+		arrival = pr.Now()
+	})
+	env.Go("send", func(pr *sim.Proc) {
+		qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 8})
+	})
+	env.Run()
+	if arrival < sim.Micros(500) || arrival > sim.Micros(520) {
+		t.Errorf("one-way arrival = %v, want ~500us + overheads", arrival)
+	}
+}
