@@ -10,6 +10,8 @@ package repro
 // bandwidth; _us are microseconds; _x are ratios.
 
 import (
+	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -32,6 +34,32 @@ func pair(delay sim.Time) (*sim.Env, *cluster.Testbed) {
 	env := sim.NewEnv()
 	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
 	return env, tb
+}
+
+// Harness benchmarks: the full Quick regeneration through the registry +
+// parallel runner, sequentially and at GOMAXPROCS workers. Comparing the
+// two tracks the harness speedup on multicore hosts; per-figure numbers
+// live in BENCH_harness.json (regenerate with
+// `go run ./cmd/ibwan-exp -quick -bench BENCH_harness.json all`).
+
+func BenchmarkHarnessRunAllQuickSeq(b *testing.B) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		results := core.RunAllWith(io.Discard, core.Options{Quick: true}, core.RunnerOptions{Workers: 1})
+		events = 0
+		for _, r := range results {
+			events += r.Metrics.Events
+		}
+	}
+	b.ReportMetric(float64(events), "sim_events")
+}
+
+func BenchmarkHarnessRunAllQuickPar(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		core.RunAllWith(io.Discard, core.Options{Quick: true}, core.RunnerOptions{Workers: workers})
+	}
+	b.ReportMetric(float64(workers), "workers")
 }
 
 func BenchmarkTable1_DelayDistance(b *testing.B) {

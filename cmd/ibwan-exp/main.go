@@ -8,21 +8,31 @@
 //
 // Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //
+// Every experiment expands into independent measurement points (one
+// simulated testbed per point) that run on a bounded worker pool; -par
+// controls the pool size and output is byte-identical at any parallelism.
+//
 // Examples:
 //
 //	ibwan-exp fig5                 # verbs RC bandwidth vs delay
 //	ibwan-exp -csv fig9            # threshold tuning, CSV output
 //	ibwan-exp -class A fig12       # NAS sweep at class A (faster)
-//	ibwan-exp all                  # everything (takes a while)
+//	ibwan-exp -par 8 -progress all # everything, 8 workers, live status
+//	ibwan-exp -quick -json - all   # metrics + table data as JSON on stdout
+//	ibwan-exp -quick -bench BENCH_harness.json all  # par=1 vs par=N timing
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // flagSet reports whether the named flag was set explicitly.
@@ -43,6 +53,10 @@ func main() {
 	fileMB := flag.Int("filemb", 512, "IOzone file size in MB for fig13")
 	tcpMS := flag.Int("tcpms", 60, "TCP measurement window (virtual ms) for fig6/fig7")
 	quick := flag.Bool("quick", false, "coarse sweeps for a fast smoke run")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "measurement points run concurrently (output is identical at any value)")
+	progress := flag.Bool("progress", false, "live per-point status line on stderr")
+	jsonOut := flag.String("json", "", "write a JSON report (metrics + table data) to this file ('-' = stdout, suppresses tables)")
+	benchOut := flag.String("bench", "", "time each experiment at -par 1 vs -par N and write the comparison JSON to this file (suppresses tables)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
 			strings.Join(core.ExperimentIDs, " "))
@@ -71,19 +85,36 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = core.ExperimentIDs
 	}
-	valid := map[string]bool{}
-	for _, id := range core.ExperimentIDs {
-		valid[id] = true
-	}
 	for _, id := range ids {
-		if !valid[id] {
-			fmt.Fprintf(os.Stderr, "ibwan-exp: unknown experiment %q\n", id)
+		if _, ok := core.Lookup(id); !ok {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: unknown experiment %q\n\n", id)
+			flag.Usage()
 			os.Exit(2)
 		}
 	}
+	ropt := core.RunnerOptions{Workers: *par}
+	if *progress {
+		ropt.Progress = os.Stderr
+	}
+
+	if *benchOut != "" {
+		if err := runBench(*benchOut, ids, opt, ropt); err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var results []core.Result
+	render := *jsonOut != "-"
 	for _, id := range ids {
-		fmt.Printf("=== %s ===\n", id)
-		for _, t := range core.Run(id, opt) {
+		res := core.RunWith(id, opt, ropt)
+		results = append(results, res)
+		if !render {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", res.ID)
+		for _, t := range res.Tables {
 			switch {
 			case *csv:
 				t.RenderCSV(os.Stdout)
@@ -94,4 +125,152 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, opt, ropt, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// JSON report types: a stable schema for benchmark-trajectory tracking.
+
+type jsonSeries struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+type jsonTable struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonExperiment struct {
+	ID         string      `json:"id"`
+	Points     int         `json:"points"`
+	Workers    int         `json:"workers"`
+	WallMS     float64     `json:"wall_ms"`
+	SimSeconds float64     `json:"sim_s"`
+	Events     int64       `json:"events"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Quick       bool             `json:"quick"`
+	Par         int              `json:"par"`
+	Cores       int              `json:"cores"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+func toJSONTables(tabs []*stats.Table) []jsonTable {
+	out := make([]jsonTable, 0, len(tabs))
+	for _, t := range tabs {
+		jt := jsonTable{Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel}
+		for _, s := range t.Series {
+			jt.Series = append(jt.Series, jsonSeries{Label: s.Label, X: s.X, Y: s.Y})
+		}
+		out = append(out, jt)
+	}
+	return out
+}
+
+func writeJSONReport(path string, opt core.Options, ropt core.RunnerOptions, results []core.Result) error {
+	rep := jsonReport{
+		Schema: "ibwan-exp/v1",
+		Quick:  opt.Quick,
+		Par:    ropt.Workers,
+		Cores:  runtime.NumCPU(),
+	}
+	for _, res := range results {
+		rep.TotalWallMS += float64(res.Metrics.Wall.Microseconds()) / 1e3
+		rep.Experiments = append(rep.Experiments, jsonExperiment{
+			ID:         res.ID,
+			Points:     res.Metrics.Points,
+			Workers:    res.Metrics.Workers,
+			WallMS:     float64(res.Metrics.Wall.Microseconds()) / 1e3,
+			SimSeconds: res.Metrics.SimTime.Seconds(),
+			Events:     res.Metrics.Events,
+			Tables:     toJSONTables(res.Tables),
+		})
+	}
+	return writeJSON(path, rep)
+}
+
+// Harness benchmark: per-figure wall time at par=1 vs par=N.
+
+type benchFigure struct {
+	ID       string  `json:"id"`
+	Points   int     `json:"points"`
+	Par1MS   float64 `json:"par1_ms"`
+	ParNMS   float64 `json:"parN_ms"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	Quick   bool          `json:"quick"`
+	Cores   int           `json:"cores"`
+	ParN    int           `json:"parN"`
+	Note    string        `json:"note,omitempty"`
+	Figures []benchFigure `json:"figures"`
+	Total   benchFigure   `json:"total"`
+}
+
+func runBench(path string, ids []string, opt core.Options, ropt core.RunnerOptions) error {
+	parN := ropt.Workers
+	if parN <= 0 {
+		parN = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{Schema: "ibwan-bench/v1", Quick: opt.Quick, Cores: runtime.NumCPU(), ParN: parN}
+	if rep.Cores == 1 {
+		rep.Note = "single-core host: the worker pool can only timeshare, so speedup_x ~ 1.0 is expected; rerun on a multicore machine to observe scaling"
+	}
+	rep.Total = benchFigure{ID: "total"}
+	for _, id := range ids {
+		seq := core.RunWith(id, opt, core.RunnerOptions{Workers: 1, Progress: ropt.Progress})
+		par := core.RunWith(id, opt, core.RunnerOptions{Workers: parN, Progress: ropt.Progress})
+		f := benchFigure{
+			ID:     id,
+			Points: seq.Metrics.Points,
+			Par1MS: float64(seq.Metrics.Wall.Microseconds()) / 1e3,
+			ParNMS: float64(par.Metrics.Wall.Microseconds()) / 1e3,
+		}
+		if f.ParNMS > 0 {
+			f.SpeedupX = round2(f.Par1MS / f.ParNMS)
+		}
+		rep.Figures = append(rep.Figures, f)
+		rep.Total.Points += f.Points
+		rep.Total.Par1MS += f.Par1MS
+		rep.Total.ParNMS += f.ParNMS
+		fmt.Fprintf(os.Stderr, "bench %-7s par1=%8.1fms  par%d=%8.1fms  %.2fx\n",
+			id, f.Par1MS, parN, f.ParNMS, f.SpeedupX)
+	}
+	if rep.Total.ParNMS > 0 {
+		rep.Total.SpeedupX = round2(rep.Total.Par1MS / rep.Total.ParNMS)
+	}
+	return writeJSON(path, rep)
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+func writeJSON(path string, v any) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/cluster"
 	"repro/internal/ib"
@@ -17,43 +16,13 @@ import (
 	"repro/internal/wan"
 )
 
-// Experiment identifiers, in the paper's order.
-var ExperimentIDs = []string{
-	"table1", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-}
-
-// Run generates the tables for one experiment id. The options control the
-// heavyweight experiments; zero values select paper-fidelity settings.
-func Run(id string, opt Options) []*stats.Table {
-	switch id {
-	case "table1":
-		return Table1()
-	case "fig3":
-		return Fig3()
-	case "fig4":
-		return Fig4(opt)
-	case "fig5":
-		return Fig5(opt)
-	case "fig6":
-		return Fig6(opt)
-	case "fig7":
-		return Fig7(opt)
-	case "fig8":
-		return Fig8(opt)
-	case "fig9":
-		return Fig9(opt)
-	case "fig10":
-		return Fig10(opt)
-	case "fig11":
-		return Fig11(opt)
-	case "fig12":
-		return Fig12(opt)
-	case "fig13":
-		return Fig13(opt)
-	}
-	panic(fmt.Sprintf("core: unknown experiment %q", id))
-}
+// This file holds the experiment builders: one func per table/figure of the
+// paper, each expanding its sweep into a Plan (see registry.go) — skeleton
+// tables whose series and slots are reserved in sequential order, plus one
+// self-contained Point per (workload × delay × message-size) cell. Every
+// point builds a private simulation world through its Meter, so the runner
+// (runner.go) may execute them on any number of workers without changing
+// the rendered output.
 
 // Options tunes experiment weight without changing shape.
 type Options struct {
@@ -111,17 +80,6 @@ func (o Options) sizes(lo, hi int) []int {
 	return []int{all[0], all[len(all)/2], all[len(all)-1]}
 }
 
-// RunAll generates every experiment, rendering each table to w as it
-// completes.
-func RunAll(w io.Writer, opt Options) {
-	for _, id := range ExperimentIDs {
-		fmt.Fprintf(w, "=== %s ===\n", id)
-		for _, t := range Run(id, opt) {
-			t.Render(w)
-		}
-	}
-}
-
 // delayLabel formats a delay series label in the paper's style.
 func delayLabel(d sim.Time) string {
 	if d == 0 {
@@ -130,63 +88,60 @@ func delayLabel(d sim.Time) string {
 	return fmt.Sprintf("%dus-delay", int64(d/sim.Microsecond))
 }
 
-// hcaPair builds the standard one-node-per-cluster WAN testbed.
-func hcaPair(delay sim.Time) (*sim.Env, *cluster.Testbed) {
-	env := sim.NewEnv()
-	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
-	return env, tb
-}
-
-// Table1 reproduces the delay/distance mapping.
-func Table1() []*stats.Table {
+// table1 reproduces the delay/distance mapping.
+func table1(Options) *Plan {
 	t := stats.NewTable("Table 1: Delay Overhead corresponding to Wire Length",
 		"Distance (km)", "Delay (us)")
 	s := t.AddSeries("delay")
+	pl := &Plan{Tables: []*stats.Table{t}}
 	for _, km := range []float64{10, 20, 200, 2000, 20000} {
-		s.Add(km, wan.DelayForDistance(km).Microseconds())
+		km := km
+		pl.point(s, km, fmt.Sprintf("table1/%gkm", km), func(m *Meter) float64 {
+			return wan.DelayForDistance(km).Microseconds()
+		})
 	}
-	return []*stats.Table{t}
+	return pl
 }
 
-// Fig3 reproduces the verbs-level small-message latency comparison.
-func Fig3() []*stats.Table {
+// fig3 reproduces the verbs-level small-message latency comparison.
+func fig3(Options) *Plan {
 	t := stats.NewTable("Figure 3: Verbs-level Latency (8-byte messages)",
 		"Configuration", "Latency (us)")
 	const iters = 100
-	measure := func(f func(env *sim.Env, a, b *ib.HCA) sim.Time) float64 {
-		env, tb := hcaPair(0)
-		return f(env, tb.A[0].HCA, tb.B[0].HCA).Microseconds()
-	}
-	// Through the Longbow pair at zero configured delay.
-	udLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
-		return perftest.SendLatency(env, a, b, ib.UD, 8, iters)
-	})
-	rcLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
-		return perftest.SendLatency(env, a, b, ib.RC, 8, iters)
-	})
-	wrLat := measure(func(env *sim.Env, a, b *ib.HCA) sim.Time {
-		return perftest.WriteLatency(env, a, b, 8, iters)
-	})
-	// Back-to-back DDR nodes, no Longbows.
-	env := sim.NewEnv()
-	f := ib.NewFabric(env)
-	a, b := f.AddHCA("a"), f.AddHCA("b")
-	f.Connect(a, b, ib.DDR, ib.DefaultCableDelay)
-	f.Finalize()
-	b2b := perftest.SendLatency(env, a, b, ib.RC, 8, iters).Microseconds()
-	for i, row := range []struct {
+	rows := []struct {
 		name string
-		val  float64
+		fn   func(m *Meter) float64
 	}{
-		{"SendRecv/UD", udLat},
-		{"SendRecv/RC", rcLat},
-		{"RDMAWrite/RC", wrLat},
-		{"BackToBack-SR/RC", b2b},
-	} {
-		s := t.AddSeries(row.name)
-		s.Add(float64(i), row.val)
+		// Through the Longbow pair at zero configured delay.
+		{"SendRecv/UD", func(m *Meter) float64 {
+			env, tb := m.pair(0)
+			return perftest.SendLatency(env, tb.A[0].HCA, tb.B[0].HCA, ib.UD, 8, iters).Microseconds()
+		}},
+		{"SendRecv/RC", func(m *Meter) float64 {
+			env, tb := m.pair(0)
+			return perftest.SendLatency(env, tb.A[0].HCA, tb.B[0].HCA, ib.RC, 8, iters).Microseconds()
+		}},
+		{"RDMAWrite/RC", func(m *Meter) float64 {
+			env, tb := m.pair(0)
+			return perftest.WriteLatency(env, tb.A[0].HCA, tb.B[0].HCA, 8, iters).Microseconds()
+		}},
+		// Back-to-back DDR nodes, no Longbows.
+		{"BackToBack-SR/RC", func(m *Meter) float64 {
+			env := m.NewEnv()
+			f := ib.NewFabric(env)
+			a, b := f.AddHCA("a"), f.AddHCA("b")
+			f.Connect(a, b, ib.DDR, ib.DefaultCableDelay)
+			f.Finalize()
+			return perftest.SendLatency(env, a, b, ib.RC, 8, iters).Microseconds()
+		}},
 	}
-	return []*stats.Table{t}
+	pl := &Plan{Tables: []*stats.Table{t}}
+	for i, row := range rows {
+		i := i
+		s := t.AddSeries(row.name)
+		pl.point(s, float64(i), "fig3/"+row.name, row.fn)
+	}
+	return pl
 }
 
 // bwCount picks a message count that keeps per-point cost bounded while
@@ -203,50 +158,66 @@ func bwCount(size int) int {
 	return c
 }
 
-// Fig4 reproduces verbs UD bandwidth and bidirectional bandwidth vs delay.
-func Fig4(opt Options) []*stats.Table {
+// fig4 reproduces verbs UD bandwidth and bidirectional bandwidth vs delay.
+func fig4(opt Options) *Plan {
 	opt.fill()
 	bw := stats.NewTable("Figure 4(a): Verbs-level UD Bandwidth",
 		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
 	bibw := stats.NewTable("Figure 4(b): Verbs-level UD Bidirectional Bandwidth",
 		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	pl := &Plan{Tables: []*stats.Table{bw, bibw}}
 	for _, d := range opt.delays() {
+		d := d
 		s1 := bw.AddSeries("UD-" + delayLabel(d))
 		s2 := bibw.AddSeries("UD-" + delayLabel(d))
 		for _, size := range opt.sizes(2, ib.MaxUDPayload) {
-			env, tb := hcaPair(d)
-			s1.Add(float64(size), perftest.BandwidthUD(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size)))
-			env2, tb2 := hcaPair(d)
-			s2.Add(float64(size), perftest.BiBandwidthUD(env2, tb2.A[0].HCA, tb2.B[0].HCA, size, bwCount(size)))
+			size := size
+			label := fmt.Sprintf("fig4/%s/%s", delayLabel(d), stats.FormatSize(float64(size)))
+			pl.point(s1, float64(size), label+"/uni", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				return perftest.BandwidthUD(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size))
+			})
+			pl.point(s2, float64(size), label+"/bidir", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				return perftest.BiBandwidthUD(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size))
+			})
 		}
 	}
-	return []*stats.Table{bw, bibw}
+	return pl
 }
 
-// Fig5 reproduces verbs RC bandwidth and bidirectional bandwidth vs delay.
-func Fig5(opt Options) []*stats.Table {
+// fig5 reproduces verbs RC bandwidth and bidirectional bandwidth vs delay.
+func fig5(opt Options) *Plan {
 	opt.fill()
 	bw := stats.NewTable("Figure 5(a): Verbs-level RC Bandwidth",
 		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
 	bibw := stats.NewTable("Figure 5(b): Verbs-level RC Bidirectional Bandwidth",
 		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	pl := &Plan{Tables: []*stats.Table{bw, bibw}}
 	for _, d := range opt.delays() {
+		d := d
 		s1 := bw.AddSeries("RC-" + delayLabel(d))
 		s2 := bibw.AddSeries("RC-" + delayLabel(d))
 		for _, size := range opt.sizes(2, 4<<20) {
-			env, tb := hcaPair(d)
-			s1.Add(float64(size), perftest.BandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size), 0))
-			env2, tb2 := hcaPair(d)
-			s2.Add(float64(size), perftest.BiBandwidthRC(env2, tb2.A[0].HCA, tb2.B[0].HCA, size, bwCount(size), 0))
+			size := size
+			label := fmt.Sprintf("fig5/%s/%s", delayLabel(d), stats.FormatSize(float64(size)))
+			pl.point(s1, float64(size), label+"/uni", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				return perftest.BandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size), 0)
+			})
+			pl.point(s2, float64(size), label+"/bidir", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				return perftest.BiBandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, size, bwCount(size), 0)
+			})
 		}
 	}
-	return []*stats.Table{bw, bibw}
+	return pl
 }
 
 // tcpPoint measures aggregate TCP throughput for the given IPoIB mode, MTU,
 // window, stream count and delay.
-func tcpPoint(mode ipoib.Mode, mtu int, window int, streams int, d sim.Time, opt Options) float64 {
-	env := sim.NewEnv()
+func tcpPoint(m *Meter, mode ipoib.Mode, mtu int, window int, streams int, d sim.Time, opt Options) float64 {
+	env := m.NewEnv()
 	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: d})
 	net := ipoib.NewNetwork()
 	da := net.Attach(tb.A[0].HCA, mode, mtu)
@@ -285,12 +256,13 @@ func tcpThroughput(env *sim.Env, sa, sb *tcpsim.Stack, streams int, dur sim.Time
 	return float64(end-mid) / (dur / 2).Seconds() / 1e6
 }
 
-// Fig6 reproduces IPoIB-UD throughput: (a) single stream with varying TCP
+// fig6 reproduces IPoIB-UD throughput: (a) single stream with varying TCP
 // windows, (b) parallel streams, both vs WAN delay.
-func Fig6(opt Options) []*stats.Table {
+func fig6(opt Options) *Plan {
 	opt.fill()
 	a := stats.NewTable("Figure 6(a): IPoIB-UD single-stream throughput vs delay",
 		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	pl := &Plan{}
 	windows := []struct {
 		label string
 		bytes int
@@ -301,9 +273,14 @@ func Fig6(opt Options) []*stats.Table {
 		{"default-window", 0},
 	}
 	for _, w := range windows {
+		w := w
 		s := a.AddSeries(w.label)
 		for _, d := range opt.delays() {
-			s.Add(d.Microseconds(), tcpPoint(ipoib.Datagram, 0, w.bytes, 1, d, opt))
+			d := d
+			pl.point(s, d.Microseconds(), fmt.Sprintf("fig6a/%s/%s", w.label, delayLabel(d)),
+				func(m *Meter) float64 {
+					return tcpPoint(m, ipoib.Datagram, 0, w.bytes, 1, d, opt)
+				})
 		}
 	}
 	b := stats.NewTable("Figure 6(b): IPoIB-UD parallel-stream throughput vs delay",
@@ -313,48 +290,66 @@ func Fig6(opt Options) []*stats.Table {
 		streams = []int{1, 4}
 	}
 	for _, n := range streams {
+		n := n
 		s := b.AddSeries(fmt.Sprintf("%d-streams", n))
 		for _, d := range opt.delays() {
-			s.Add(d.Microseconds(), tcpPoint(ipoib.Datagram, 0, 0, n, d, opt))
+			d := d
+			pl.point(s, d.Microseconds(), fmt.Sprintf("fig6b/%d-streams/%s", n, delayLabel(d)),
+				func(m *Meter) float64 {
+					return tcpPoint(m, ipoib.Datagram, 0, 0, n, d, opt)
+				})
 		}
 	}
-	return []*stats.Table{a, b}
+	pl.Tables = []*stats.Table{a, b}
+	return pl
 }
 
-// Fig7 reproduces IPoIB-RC throughput: (a) single stream with varying IP
+// fig7 reproduces IPoIB-RC throughput: (a) single stream with varying IP
 // MTUs, (b) parallel streams, both vs WAN delay.
-func Fig7(opt Options) []*stats.Table {
+func fig7(opt Options) *Plan {
 	opt.fill()
 	a := stats.NewTable("Figure 7(a): IPoIB-RC single-stream throughput vs delay",
 		"Delay (usecs)", "Throughput (MillionBytes/s)")
+	pl := &Plan{}
 	mtus := []int{2044, 16380, 65532}
 	if opt.Quick {
 		mtus = []int{2044, 65532}
 	}
 	for _, mtu := range mtus {
+		mtu := mtu
 		s := a.AddSeries(fmt.Sprintf("%dK-MTU", (mtu+4)>>10))
 		for _, d := range opt.delays() {
-			s.Add(d.Microseconds(), tcpPoint(ipoib.Connected, mtu, 0, 1, d, opt))
+			d := d
+			pl.point(s, d.Microseconds(), fmt.Sprintf("fig7a/%dK-MTU/%s", (mtu+4)>>10, delayLabel(d)),
+				func(m *Meter) float64 {
+					return tcpPoint(m, ipoib.Connected, mtu, 0, 1, d, opt)
+				})
 		}
 	}
 	b := stats.NewTable("Figure 7(b): IPoIB-RC parallel-stream throughput vs delay",
 		"Delay (usecs)", "Throughput (MillionBytes/s)")
-	streams2 := []int{1, 2, 4, 6, 8}
+	streams := []int{1, 2, 4, 6, 8}
 	if opt.Quick {
-		streams2 = []int{1, 4}
+		streams = []int{1, 4}
 	}
-	for _, n := range streams2 {
+	for _, n := range streams {
+		n := n
 		s := b.AddSeries(fmt.Sprintf("%d-streams", n))
 		for _, d := range opt.delays() {
-			s.Add(d.Microseconds(), tcpPoint(ipoib.Connected, 0, 0, n, d, opt))
+			d := d
+			pl.point(s, d.Microseconds(), fmt.Sprintf("fig7b/%d-streams/%s", n, delayLabel(d)),
+				func(m *Meter) float64 {
+					return tcpPoint(m, ipoib.Connected, 0, 0, n, d, opt)
+				})
 		}
 	}
-	return []*stats.Table{a, b}
+	pl.Tables = []*stats.Table{a, b}
+	return pl
 }
 
 // mpiWorld builds a fresh 2-rank cross-WAN world.
-func mpiWorld(delay sim.Time, cfg mpi.Config) *mpi.World {
-	env := sim.NewEnv()
+func mpiWorld(m *Meter, delay sim.Time, cfg mpi.Config) *mpi.World {
+	env := m.NewEnv()
 	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
 	return mpi.NewWorld(env, []*cluster.Node{tb.A[0], tb.B[0]}, cfg)
 }
@@ -370,34 +365,38 @@ func mpiIters(size int) int {
 	return 4
 }
 
-// Fig8 reproduces MPI bandwidth and bidirectional bandwidth vs delay.
-func Fig8(opt Options) []*stats.Table {
+// fig8 reproduces MPI bandwidth and bidirectional bandwidth vs delay.
+func fig8(opt Options) *Plan {
 	opt.fill()
 	bw := stats.NewTable("Figure 8(a): MPI Bandwidth (MVAPICH2-model)",
 		"Message Size (Bytes)", "Bandwidth (MillionBytes/s)")
 	bibw := stats.NewTable("Figure 8(b): MPI Bidirectional Bandwidth",
 		"Message Size (Bytes)", "Bidirectional Bandwidth (MillionBytes/s)")
+	pl := &Plan{Tables: []*stats.Table{bw, bibw}}
 	for _, d := range opt.delays() {
+		d := d
 		s1 := bw.AddSeries("MVAPICH-" + delayLabel(d))
 		s2 := bibw.AddSeries("MVAPICH-" + delayLabel(d))
 		for _, size := range opt.sizes(1, 4<<20) {
-			w := mpiWorld(d, mpi.Config{})
-			s1.Add(float64(size), mpi.Bandwidth(w, size, mpiIters(size)))
-			w.Shutdown()
-			w2 := mpiWorld(d, mpi.Config{})
-			s2.Add(float64(size), mpi.BiBandwidth(w2, size, mpiIters(size)))
-			w2.Shutdown()
+			size := size
+			label := fmt.Sprintf("fig8/%s/%s", delayLabel(d), stats.FormatSize(float64(size)))
+			pl.point(s1, float64(size), label+"/uni", func(m *Meter) float64 {
+				w := mpiWorld(m, d, mpi.Config{})
+				defer w.Shutdown()
+				return mpi.Bandwidth(w, size, mpiIters(size))
+			})
+			pl.point(s2, float64(size), label+"/bidir", func(m *Meter) float64 {
+				w := mpiWorld(m, d, mpi.Config{})
+				defer w.Shutdown()
+				return mpi.BiBandwidth(w, size, mpiIters(size))
+			})
 		}
 	}
-	return []*stats.Table{bw, bibw}
+	return pl
 }
 
-// Fig9 reproduces the rendezvous-threshold tuning experiment at 1 ms delay.
-func Fig9(opts ...Options) []*stats.Table {
-	var opt Options
-	if len(opts) > 0 {
-		opt = opts[0]
-	}
+// fig9 reproduces the rendezvous-threshold tuning experiment at 1 ms delay.
+func fig9(opt Options) *Plan {
 	opt.fill()
 	const delay = 1000 // microseconds
 	bw := stats.NewTable("Figure 9(a): MPI Bandwidth with protocol thresholds, 1ms delay",
@@ -411,23 +410,31 @@ func Fig9(opts ...Options) []*stats.Table {
 		{"thresh-8k (original)", mpi.Config{}},
 		{"thresh-64k (tuned)", mpi.Config{EagerThreshold: TunedThreshold}},
 	}
+	pl := &Plan{Tables: []*stats.Table{bw, bibw}}
 	for _, c := range cfgs {
+		c := c
 		s1 := bw.AddSeries(c.label)
 		s2 := bibw.AddSeries(c.label)
 		for _, size := range opt.sizes(1<<10, 64<<10) {
-			w := mpiWorld(sim.Micros(delay), c.cfg)
-			s1.Add(float64(size), mpi.Bandwidth(w, size, 4))
-			w.Shutdown()
-			w2 := mpiWorld(sim.Micros(delay), c.cfg)
-			s2.Add(float64(size), mpi.BiBandwidth(w2, size, 4))
-			w2.Shutdown()
+			size := size
+			label := fmt.Sprintf("fig9/%s/%s", c.label, stats.FormatSize(float64(size)))
+			pl.point(s1, float64(size), label+"/uni", func(m *Meter) float64 {
+				w := mpiWorld(m, sim.Micros(delay), c.cfg)
+				defer w.Shutdown()
+				return mpi.Bandwidth(w, size, 4)
+			})
+			pl.point(s2, float64(size), label+"/bidir", func(m *Meter) float64 {
+				w := mpiWorld(m, sim.Micros(delay), c.cfg)
+				defer w.Shutdown()
+				return mpi.BiBandwidth(w, size, 4)
+			})
 		}
 	}
-	return []*stats.Table{bw, bibw}
+	return pl
 }
 
-// Fig10 reproduces the multi-pair aggregate message rate at three delays.
-func Fig10(opt Options) []*stats.Table {
+// fig10 reproduces the multi-pair aggregate message rate at three delays.
+func fig10(opt Options) *Plan {
 	opt.fill()
 	delays := []sim.Time{sim.Micros(10), sim.Micros(1000), sim.Micros(10000)}
 	pairCounts := []int{4, 8, 16}
@@ -435,32 +442,38 @@ func Fig10(opt Options) []*stats.Table {
 		delays = []sim.Time{sim.Micros(1000)}
 		pairCounts = []int{2, 4}
 	}
-	var out []*stats.Table
+	pl := &Plan{}
 	for _, d := range delays {
+		d := d
 		t := stats.NewTable(
 			fmt.Sprintf("Figure 10: Multi-pair message rate, %s", delayLabel(d)),
 			"Message Size (Bytes)", "Message Rate (Million Messages/s)")
 		for _, pairs := range pairCounts {
+			pairs := pairs
 			s := t.AddSeries(fmt.Sprintf("%d pairs", pairs))
 			for _, size := range opt.sizes(1, 32<<10) {
-				env := sim.NewEnv()
-				tb := cluster.New(env, cluster.Config{NodesA: pairs, NodesB: pairs, Delay: d})
-				var nodes []*cluster.Node
-				nodes = append(nodes, tb.A...)
-				nodes = append(nodes, tb.B...)
-				w := mpi.NewWorld(env, nodes, mpi.Config{})
-				s.Add(float64(size), mpi.MessageRate(w, pairs, size, 2))
-				w.Shutdown()
+				size := size
+				label := fmt.Sprintf("fig10/%s/%dpairs/%s", delayLabel(d), pairs, stats.FormatSize(float64(size)))
+				pl.point(s, float64(size), label, func(m *Meter) float64 {
+					env := m.NewEnv()
+					tb := cluster.New(env, cluster.Config{NodesA: pairs, NodesB: pairs, Delay: d})
+					var nodes []*cluster.Node
+					nodes = append(nodes, tb.A...)
+					nodes = append(nodes, tb.B...)
+					w := mpi.NewWorld(env, nodes, mpi.Config{})
+					defer w.Shutdown()
+					return mpi.MessageRate(w, pairs, size, 2)
+				})
 			}
 		}
-		out = append(out, t)
+		pl.Tables = append(pl.Tables, t)
 	}
-	return out
+	return pl
 }
 
-// Fig11 reproduces the broadcast comparison: the stock algorithm vs the
+// fig11 reproduces the broadcast comparison: the stock algorithm vs the
 // WAN-aware hierarchical broadcast, 64+64 processes, three delays.
-func Fig11(opt Options) []*stats.Table {
+func fig11(opt Options) *Plan {
 	opt.fill()
 	delays := []sim.Time{sim.Micros(10), sim.Micros(100), sim.Micros(1000)}
 	sizes := []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
@@ -470,36 +483,43 @@ func Fig11(opt Options) []*stats.Table {
 		sizes = []int{64, 128 << 10}
 		nodesPerCluster = 4
 	}
-	var out []*stats.Table
+	pl := &Plan{}
 	for _, d := range delays {
+		d := d
 		t := stats.NewTable(
 			fmt.Sprintf("Figure 11: MPI broadcast latency over IB WAN, %s", delayLabel(d)),
 			"Message Size (Bytes)", "Latency (us)")
 		orig := t.AddSeries("Original")
 		mod := t.AddSeries("Modified")
 		for _, size := range sizes {
+			size := size
 			for _, hier := range []bool{false, true} {
-				env := sim.NewEnv()
-				tb := cluster.New(env, cluster.Config{NodesA: nodesPerCluster, NodesB: nodesPerCluster, Delay: d})
-				placement := mpi.BlockPlacement(tb.Nodes(), 2)
-				w := mpi.NewWorld(env, placement, mpi.Config{})
-				lat := mpi.BcastLatency(w, size, 3, hier).Microseconds()
+				hier := hier
+				s, variant := orig, "orig"
 				if hier {
-					mod.Add(float64(size), lat)
-				} else {
-					orig.Add(float64(size), lat)
+					s, variant = mod, "hier"
 				}
-				w.Shutdown()
+				label := fmt.Sprintf("fig11/%s/%s/%s", delayLabel(d), stats.FormatSize(float64(size)), variant)
+				pl.point(s, float64(size), label, func(m *Meter) float64 {
+					env := m.NewEnv()
+					tb := cluster.New(env, cluster.Config{NodesA: nodesPerCluster, NodesB: nodesPerCluster, Delay: d})
+					placement := mpi.BlockPlacement(tb.Nodes(), 2)
+					w := mpi.NewWorld(env, placement, mpi.Config{})
+					defer w.Shutdown()
+					return mpi.BcastLatency(w, size, 3, hier).Microseconds()
+				})
 			}
 		}
-		out = append(out, t)
+		pl.Tables = append(pl.Tables, t)
 	}
-	return out
+	return pl
 }
 
-// Fig12 reproduces the NAS benchmark delay sweep: 64 processes, 32 per
-// cluster, execution time vs WAN delay.
-func Fig12(opt Options) []*stats.Table {
+// fig12 reproduces the NAS benchmark delay sweep: 64 processes, 32 per
+// cluster, execution time vs WAN delay. The slowdown table is derived from
+// the measured one after all points land (Finish), exactly as the
+// sequential loop computed it.
+func fig12(opt Options) *Plan {
 	opt.fill()
 	t := stats.NewTable(
 		fmt.Sprintf("Figure 12: NAS class %s execution time (64 procs, 32+32)", opt.NASClass),
@@ -515,31 +535,44 @@ func Fig12(opt Options) []*stats.Table {
 	if opt.Quick {
 		kernels = nas.Kernels()
 	}
+	pl := &Plan{Tables: []*stats.Table{t, rel}}
 	for _, k := range kernels {
+		k := k
 		s := t.AddSeries(k)
 		sr := rel.AddSeries(k)
-		var base float64
 		for _, d := range opt.delays() {
-			env := sim.NewEnv()
-			tb := cluster.New(env, cluster.Config{NodesA: nasNodes, NodesB: nasNodes, Delay: d})
-			var nodes []*cluster.Node
-			nodes = append(nodes, tb.A...)
-			nodes = append(nodes, tb.B...)
-			w := mpi.NewWorld(env, nodes, mpi.Config{})
-			elapsed := nas.RunClass(w, k, opt.NASClass).Seconds()
-			w.Shutdown()
-			s.Add(d.Microseconds(), elapsed)
-			if d == 0 {
-				base = elapsed
-			}
-			sr.Add(d.Microseconds(), elapsed/base)
+			d := d
+			sr.Alloc(d.Microseconds())
+			pl.point(s, d.Microseconds(), fmt.Sprintf("fig12/%s/%s", k, delayLabel(d)),
+				func(m *Meter) float64 {
+					env := m.NewEnv()
+					tb := cluster.New(env, cluster.Config{NodesA: nasNodes, NodesB: nasNodes, Delay: d})
+					var nodes []*cluster.Node
+					nodes = append(nodes, tb.A...)
+					nodes = append(nodes, tb.B...)
+					w := mpi.NewWorld(env, nodes, mpi.Config{})
+					defer w.Shutdown()
+					return nas.RunClass(w, k, opt.NASClass).Seconds()
+				})
 		}
 	}
-	return []*stats.Table{t, rel}
+	pl.Finish = func() {
+		for ki := range t.Series {
+			s, sr := t.Series[ki], rel.Series[ki]
+			var base float64
+			for i := range s.Y {
+				if s.X[i] == 0 {
+					base = s.Y[i]
+				}
+				sr.Set(i, s.Y[i]/base)
+			}
+		}
+	}
+	return pl
 }
 
-// Fig13 reproduces the NFS read throughput experiments.
-func Fig13(opt Options) []*stats.Table {
+// fig13 reproduces the NFS read throughput experiments.
+func fig13(opt Options) *Plan {
 	opt.fill()
 	fileMB := int64(opt.NFSFileMB)
 	streams := []int{1, 2, 4, 8}
@@ -552,34 +585,41 @@ func Fig13(opt Options) []*stats.Table {
 			FileSize: fileMB << 20, RecordSize: 256 << 10, Threads: threads,
 		})
 	}
+	pl := &Plan{}
 	// (a) NFS/RDMA: LAN vs WAN delays.
 	a := stats.NewTable("Figure 13(a): NFS/RDMA read throughput",
 		"Number of Streams", "Throughput (MillionBytes/s)")
 	lan := a.AddSeries("LAN")
 	for _, th := range streams {
-		env := sim.NewEnv()
-		tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 1})
-		srv, cl := nfs.MountRDMA(tb.A[1], tb.A[0])
-		lan.Add(float64(th), iozone(srv, cl, env, th))
-		env.Shutdown()
+		th := th
+		pl.point(lan, float64(th), fmt.Sprintf("fig13a/LAN/%dstreams", th), func(m *Meter) float64 {
+			env := m.NewEnv()
+			tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 1})
+			srv, cl := nfs.MountRDMA(tb.A[1], tb.A[0])
+			return iozone(srv, cl, env, th)
+		})
 	}
 	wanDelays := []sim.Time{0, sim.Micros(10), sim.Micros(100), sim.Micros(1000)}
 	if opt.Quick {
 		wanDelays = []sim.Time{0, sim.Micros(1000)}
 	}
 	for _, d := range wanDelays {
+		d := d
 		s := a.AddSeries(fmt.Sprintf("%dusec", int64(d/sim.Microsecond)))
 		for _, th := range streams {
-			env, tb := hcaPair(d)
-			srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
-			s.Add(float64(th), iozone(srv, cl, env, th))
-			env.Shutdown()
+			th := th
+			pl.point(s, float64(th), fmt.Sprintf("fig13a/%s/%dstreams", delayLabel(d), th),
+				func(m *Meter) float64 {
+					env, tb := m.pair(d)
+					srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
+					return iozone(srv, cl, env, th)
+				})
 		}
 	}
+	pl.Tables = append(pl.Tables, a)
 	// (b), (c): transport comparison at 100 us and 1000 us.
-	var out []*stats.Table
-	out = append(out, a)
 	for _, d := range []sim.Time{sim.Micros(100), sim.Micros(1000)} {
+		d := d
 		t := stats.NewTable(
 			fmt.Sprintf("Figure 13(%s): NFS read throughput, RDMA vs IPoIB, %s",
 				map[sim.Time]string{sim.Micros(100): "b", sim.Micros(1000): "c"}[d], delayLabel(d)),
@@ -588,22 +628,25 @@ func Fig13(opt Options) []*stats.Table {
 		rc := t.AddSeries("IPoIB-RC")
 		ud := t.AddSeries("IPoIB-UD")
 		for _, th := range streams {
-			env, tb := hcaPair(d)
-			srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
-			rdma.Add(float64(th), iozone(srv, cl, env, th))
-			env.Shutdown()
-
-			env2, tb2 := hcaPair(d)
-			srv2, cl2 := nfs.MountTCP(env2, tb2.B[0], tb2.A[0], ipoib.Connected)
-			rc.Add(float64(th), iozone(srv2, cl2, env2, th))
-			env2.Shutdown()
-
-			env3, tb3 := hcaPair(d)
-			srv3, cl3 := nfs.MountTCP(env3, tb3.B[0], tb3.A[0], ipoib.Datagram)
-			ud.Add(float64(th), iozone(srv3, cl3, env3, th))
-			env3.Shutdown()
+			th := th
+			label := fmt.Sprintf("fig13/%s/%dstreams", delayLabel(d), th)
+			pl.point(rdma, float64(th), label+"/rdma", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				srv, cl := nfs.MountRDMA(tb.B[0], tb.A[0])
+				return iozone(srv, cl, env, th)
+			})
+			pl.point(rc, float64(th), label+"/ipoib-rc", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				srv, cl := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+				return iozone(srv, cl, env, th)
+			})
+			pl.point(ud, float64(th), label+"/ipoib-ud", func(m *Meter) float64 {
+				env, tb := m.pair(d)
+				srv, cl := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+				return iozone(srv, cl, env, th)
+			})
 		}
-		out = append(out, t)
+		pl.Tables = append(pl.Tables, t)
 	}
-	return out
+	return pl
 }

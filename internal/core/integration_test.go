@@ -158,7 +158,7 @@ func TestSharedWANContention(t *testing.T) {
 func TestDeterministicExperiment(t *testing.T) {
 	run := func() []float64 {
 		var out []float64
-		for _, tab := range Fig9() {
+		for _, tab := range Run("fig9", Options{}) {
 			for _, s := range tab.Series {
 				out = append(out, s.Y...)
 			}

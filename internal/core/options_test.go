@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestOptionsFillDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.NASClass != "B" || o.NFSFileMB != 512 || o.TCPMillis != 60 {
+		t.Errorf("paper-fidelity defaults wrong: %+v", o)
+	}
+
+	q := Options{Quick: true}
+	q.fill()
+	if q.NASClass != "W" || q.NFSFileMB != 16 || q.TCPMillis != 10 {
+		t.Errorf("quick defaults wrong: %+v", q)
+	}
+}
+
+func TestOptionsFillPreservesOverrides(t *testing.T) {
+	o := Options{Quick: true, NASClass: "A", NFSFileMB: 64, TCPMillis: 25}
+	o.fill()
+	if o.NASClass != "A" || o.NFSFileMB != 64 || o.TCPMillis != 25 {
+		t.Errorf("explicit settings clobbered by fill: %+v", o)
+	}
+	// fill must be idempotent.
+	before := o
+	o.fill()
+	if o != before {
+		t.Errorf("fill not idempotent: %+v -> %+v", before, o)
+	}
+}
+
+func TestOptionsDelays(t *testing.T) {
+	full := Options{}.delays()
+	if !reflect.DeepEqual(full, cluster.PaperDelays()) {
+		t.Errorf("full delays = %v, want paper sweep", full)
+	}
+	quick := Options{Quick: true}.delays()
+	want := []sim.Time{0, sim.Micros(1000)}
+	if !reflect.DeepEqual(quick, want) {
+		t.Errorf("quick delays = %v, want %v", quick, want)
+	}
+}
+
+func TestOptionsSizes(t *testing.T) {
+	// Full mode: every power of two, inclusive bounds.
+	full := Options{}.sizes(2, 16)
+	if !reflect.DeepEqual(full, []int{2, 4, 8, 16}) {
+		t.Errorf("sizes(2,16) = %v", full)
+	}
+	// Quick mode truncates to first/middle/last.
+	all := stats.Sizes(2, 4<<20)
+	quick := Options{Quick: true}.sizes(2, 4<<20)
+	want := []int{all[0], all[len(all)/2], all[len(all)-1]}
+	if !reflect.DeepEqual(quick, want) {
+		t.Errorf("quick sizes = %v, want %v", quick, want)
+	}
+	if quick[0] != 2 || quick[2] != 4<<20 {
+		t.Errorf("quick sizes must keep the boundary sizes: %v", quick)
+	}
+	// Quick mode leaves short sweeps (<= 3 sizes) untouched.
+	short := Options{Quick: true}.sizes(8, 32)
+	if !reflect.DeepEqual(short, []int{8, 16, 32}) {
+		t.Errorf("quick sizes(8,32) = %v, want all three", short)
+	}
+	// Degenerate single-size sweep.
+	one := Options{Quick: true}.sizes(64, 64)
+	if !reflect.DeepEqual(one, []int{64}) {
+		t.Errorf("sizes(64,64) = %v", one)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec declares one experiment: a stable identifier plus a builder that
+// expands the experiment, for a given set of Options, into skeleton tables
+// and the independent measurement points that fill them.
+type Spec struct {
+	ID    string
+	Build func(opt Options) *Plan
+}
+
+// Plan is an expanded experiment. Tables are fully shaped at build time —
+// every series exists and every slot is reserved in the order the
+// sequential harness would have produced — so points may execute in any
+// order, on any number of workers, and the rendered output is identical.
+type Plan struct {
+	Tables []*stats.Table
+	Points []Point
+	// Finish, if non-nil, runs once after every point has landed. It
+	// derives post-processed series (e.g. fig12's slowdown-vs-zero-delay)
+	// from the measured ones.
+	Finish func()
+}
+
+// Point is one independently runnable measurement cell: Fn builds its own
+// simulation world(s) through the Meter and returns the measured value,
+// which the runner commits into the point's reserved table slot.
+type Point struct {
+	Label  string
+	Fn     func(m *Meter) float64
+	commit func(y float64)
+}
+
+// point reserves the next slot of series s at x and appends a Point whose
+// result fills it.
+func (pl *Plan) point(s *stats.Series, x float64, label string, fn func(m *Meter) float64) {
+	slot := s.Alloc(x)
+	pl.Points = append(pl.Points, Point{
+		Label:  label,
+		Fn:     fn,
+		commit: func(y float64) { s.Set(slot, y) },
+	})
+}
+
+// Meter tracks the simulation environments a point creates, so the runner
+// can attribute simulated time and executed events to the point and unwind
+// leftover processes once the point completes.
+type Meter struct {
+	envs []*sim.Env
+}
+
+// NewEnv creates a simulation environment owned by this point.
+func (m *Meter) NewEnv() *sim.Env {
+	env := sim.NewEnv()
+	if m != nil {
+		m.envs = append(m.envs, env)
+	}
+	return env
+}
+
+// pair builds the standard one-node-per-cluster WAN testbed.
+func (m *Meter) pair(delay sim.Time) (*sim.Env, *cluster.Testbed) {
+	env := m.NewEnv()
+	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
+	return env, tb
+}
+
+// SimTime returns the total virtual time reached across the point's
+// environments.
+func (m *Meter) SimTime() sim.Time {
+	var t sim.Time
+	for _, e := range m.envs {
+		t += e.Now()
+	}
+	return t
+}
+
+// Events returns the total number of simulation events executed across the
+// point's environments.
+func (m *Meter) Events() int64 {
+	var n int64
+	for _, e := range m.envs {
+		n += e.Executed()
+	}
+	return n
+}
+
+// close shuts down every tracked environment, killing parked processes so
+// their goroutines exit.
+func (m *Meter) close() {
+	for _, e := range m.envs {
+		e.Shutdown()
+	}
+}
+
+// registry lists every experiment in the paper's order. Adding a figure
+// means adding a builder and one entry here; the CLI, RunAll, benchmarks
+// and the determinism test all pick it up from this table.
+var registry = []Spec{
+	{"table1", table1},
+	{"fig3", fig3},
+	{"fig4", fig4},
+	{"fig5", fig5},
+	{"fig6", fig6},
+	{"fig7", fig7},
+	{"fig8", fig8},
+	{"fig9", fig9},
+	{"fig10", fig10},
+	{"fig11", fig11},
+	{"fig12", fig12},
+	{"fig13", fig13},
+}
+
+// ExperimentIDs lists the registered experiment identifiers, in the
+// paper's order.
+var ExperimentIDs = func() []string {
+	ids := make([]string, len(registry))
+	for i, s := range registry {
+		ids[i] = s.ID
+	}
+	return ids
+}()
+
+// Lookup returns the Spec registered under id.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// mustLookup panics on an unknown id (the CLI validates ids up front; a
+// miss here is a programming error).
+func mustLookup(id string) Spec {
+	s, ok := Lookup(id)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown experiment %q", id))
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RunnerOptions configures the parallel experiment runner.
+type RunnerOptions struct {
+	// Workers bounds how many points are measured concurrently; <= 0
+	// selects runtime.GOMAXPROCS(0). Results are independent of the
+	// worker count: every slot is reserved before the pool starts, so
+	// scheduling only affects wall time, never output.
+	Workers int
+	// Progress, when non-nil, receives a live single-line status as
+	// points complete (typically os.Stderr). The line is erased when the
+	// experiment finishes.
+	Progress io.Writer
+	// OnPoint, when non-nil, is called after each point completes, in
+	// completion order (not registry order). Calls are serialized.
+	OnPoint func(PointMetrics)
+}
+
+func (o RunnerOptions) workers(points int) int {
+	n := o.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > points {
+		n = points
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PointMetrics describes the cost of one completed measurement point.
+type PointMetrics struct {
+	Experiment string
+	Label      string
+	Wall       time.Duration // host time spent measuring the point
+	SimTime    sim.Time      // virtual time reached across the point's envs
+	Events     int64         // simulation events executed
+}
+
+// ExperimentMetrics aggregates point metrics for one experiment.
+type ExperimentMetrics struct {
+	ID      string
+	Points  int
+	Workers int
+	Wall    time.Duration // wall time for the whole experiment
+	SimTime sim.Time      // summed virtual time across all points
+	Events  int64         // summed simulation events across all points
+}
+
+// Result pairs an experiment's tables with its runtime metrics.
+type Result struct {
+	ID      string
+	Tables  []*stats.Table
+	Metrics ExperimentMetrics
+}
+
+// Run generates the tables for one experiment id sequentially. The options
+// control the heavyweight experiments; zero values select paper-fidelity
+// settings. It panics on an unknown id.
+func Run(id string, opt Options) []*stats.Table {
+	return RunWith(id, opt, RunnerOptions{Workers: 1}).Tables
+}
+
+// RunWith generates one experiment under the given runner options,
+// executing its points on a bounded worker pool and reassembling results
+// in registry order.
+func RunWith(id string, opt Options, ropt RunnerOptions) Result {
+	return runSpec(mustLookup(id), opt, ropt)
+}
+
+// runSpec expands a spec and executes its plan.
+func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
+	pl := spec.Build(opt)
+	start := time.Now()
+	workers := ropt.workers(len(pl.Points))
+	agg := ExperimentMetrics{ID: spec.ID, Points: len(pl.Points), Workers: workers}
+
+	var (
+		mu   sync.Mutex // guards agg, done and the progress line
+		done int
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pt := &pl.Points[i]
+				m := &Meter{}
+				t0 := time.Now()
+				y := pt.Fn(m)
+				pt.commit(y)
+				m.close()
+				pm := PointMetrics{
+					Experiment: spec.ID,
+					Label:      pt.Label,
+					Wall:       time.Since(t0),
+					SimTime:    m.SimTime(),
+					Events:     m.Events(),
+				}
+				mu.Lock()
+				agg.SimTime += pm.SimTime
+				agg.Events += pm.Events
+				done++
+				if ropt.Progress != nil {
+					fmt.Fprintf(ropt.Progress, "\r\x1b[K[%s] %d/%d points  par=%d  %s",
+						spec.ID, done, len(pl.Points), workers, pt.Label)
+				}
+				if ropt.OnPoint != nil {
+					ropt.OnPoint(pm)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range pl.Points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if pl.Finish != nil {
+		pl.Finish()
+	}
+	agg.Wall = time.Since(start)
+	if ropt.Progress != nil {
+		fmt.Fprintf(ropt.Progress, "\r\x1b[K[%s] %d points in %v (sim %v, %d events)\n",
+			spec.ID, agg.Points, agg.Wall.Round(time.Millisecond), agg.SimTime, agg.Events)
+	}
+	return Result{ID: spec.ID, Tables: pl.Tables, Metrics: agg}
+}
+
+// RunAll generates every experiment sequentially, rendering each table to
+// w as it completes.
+func RunAll(w io.Writer, opt Options) {
+	RunAllWith(w, opt, RunnerOptions{Workers: 1})
+}
+
+// RunAllWith generates every registered experiment under the given runner
+// options, rendering tables to w in registry order regardless of
+// scheduling, and returns per-experiment metrics. Output is byte-identical
+// across worker counts.
+func RunAllWith(w io.Writer, opt Options, ropt RunnerOptions) []Result {
+	results := make([]Result, 0, len(registry))
+	for _, spec := range registry {
+		res := runSpec(spec, opt, ropt)
+		fmt.Fprintf(w, "=== %s ===\n", res.ID)
+		for _, t := range res.Tables {
+			t.Render(w)
+		}
+		results = append(results, res)
+	}
+	return results
+}

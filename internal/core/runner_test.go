@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLookup covers the registry surface.
+func TestLookup(t *testing.T) {
+	if len(ExperimentIDs) != len(registry) {
+		t.Fatalf("ExperimentIDs has %d entries, registry %d", len(ExperimentIDs), len(registry))
+	}
+	for _, id := range ExperimentIDs {
+		spec, ok := Lookup(id)
+		if !ok || spec.ID != id || spec.Build == nil {
+			t.Errorf("Lookup(%q) = %+v, %v", id, spec, ok)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("Lookup accepted an unknown id")
+	}
+}
+
+// TestRunnerMetricsAndCallbacks checks that the pool visits every point
+// exactly once, serializes OnPoint, aggregates meters, and reports a live
+// progress line.
+func TestRunnerMetricsAndCallbacks(t *testing.T) {
+	var seen []string
+	var prog strings.Builder
+	res := RunWith("fig3", Options{Quick: true}, RunnerOptions{
+		Workers:  4,
+		Progress: &prog,
+		OnPoint: func(pm PointMetrics) {
+			if pm.Experiment != "fig3" {
+				t.Errorf("OnPoint experiment = %q", pm.Experiment)
+			}
+			if pm.Events <= 0 || pm.SimTime <= 0 {
+				t.Errorf("point %q missing sim metrics: %+v", pm.Label, pm)
+			}
+			seen = append(seen, pm.Label)
+		},
+	})
+	if len(seen) != 4 {
+		t.Errorf("OnPoint called %d times, want 4", len(seen))
+	}
+	m := res.Metrics
+	if m.ID != "fig3" || m.Points != 4 || m.Workers != 4 {
+		t.Errorf("metrics header wrong: %+v", m)
+	}
+	if m.Events <= 0 || m.SimTime <= 0 || m.Wall <= 0 {
+		t.Errorf("metrics not aggregated: %+v", m)
+	}
+	if !strings.Contains(prog.String(), "[fig3] 4 points in") {
+		t.Errorf("progress summary missing: %q", prog.String())
+	}
+}
+
+// TestRunnerWorkerClamp: worker counts beyond the point count (and zero,
+// meaning GOMAXPROCS) must still complete every slot.
+func TestRunnerWorkerClamp(t *testing.T) {
+	for _, workers := range []int{0, 1, 64} {
+		res := RunWith("table1", Options{}, RunnerOptions{Workers: workers})
+		s := res.Tables[0].Series[0]
+		if len(s.Y) != 5 {
+			t.Fatalf("workers=%d: %d slots filled, want 5", workers, len(s.Y))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("workers=%d: slot %d unfilled", workers, i)
+			}
+		}
+	}
+}
+
+// TestPlanReservesAllSlots: every builder must reserve exactly as many
+// slots as it appends points plus derived (Finish-filled) cells, so the
+// runner can commit results without growing any series.
+func TestPlanReservesAllSlots(t *testing.T) {
+	opt := Options{Quick: true}
+	for _, id := range ExperimentIDs {
+		spec, _ := Lookup(id)
+		pl := spec.Build(opt)
+		slots := 0
+		for _, tab := range pl.Tables {
+			if tab.Title == "" {
+				t.Errorf("%s: table without title", id)
+			}
+			for _, s := range tab.Series {
+				slots += len(s.Y)
+			}
+		}
+		if slots < len(pl.Points) {
+			t.Errorf("%s: %d slots reserved for %d points", id, slots, len(pl.Points))
+		}
+		if len(pl.Points) == 0 {
+			t.Errorf("%s: no points", id)
+		}
+		for _, pt := range pl.Points {
+			if pt.Label == "" || pt.Fn == nil || pt.commit == nil {
+				t.Errorf("%s: malformed point %+v", id, pt.Label)
+			}
+		}
+	}
+}
+
+// TestMeterTracksEnvs checks sim-cost attribution through the Meter.
+func TestMeterTracksEnvs(t *testing.T) {
+	m := &Meter{}
+	env, _ := m.pair(0)
+	env.At(5, func() {})
+	env.Run()
+	if m.Events() != env.Executed() || m.Events() == 0 {
+		t.Errorf("Events = %d, env executed %d", m.Events(), env.Executed())
+	}
+	if m.SimTime() != env.Now() {
+		t.Errorf("SimTime = %v, env now %v", m.SimTime(), env.Now())
+	}
+	m.close()
+	if env.LiveProcs() != 0 {
+		t.Errorf("close left %d live procs", env.LiveProcs())
+	}
+}

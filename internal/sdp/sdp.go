@@ -19,6 +19,7 @@ package sdp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/ib"
@@ -70,8 +71,13 @@ type Listener struct {
 
 // listeners maps (node, port) to listening sockets, standing in for the
 // SDP port space. Node pointers are unique across simulations, so separate
-// testbeds never collide; Close releases an entry.
-var listeners = map[listenerKey]*Listener{}
+// testbeds never collide; Close releases an entry. The map is the one piece
+// of state shared between simulations, so it is mutex-guarded: the parallel
+// experiment runner executes independent testbeds from multiple goroutines.
+var (
+	listenersMu sync.Mutex
+	listeners   = map[listenerKey]*Listener{}
+)
 
 type listenerKey struct {
 	node *cluster.Node
@@ -81,6 +87,8 @@ type listenerKey struct {
 // Listen opens an SDP listening socket.
 func Listen(node *cluster.Node, port int) *Listener {
 	key := listenerKey{node, port}
+	listenersMu.Lock()
+	defer listenersMu.Unlock()
 	if _, dup := listeners[key]; dup {
 		panic(fmt.Sprintf("sdp: port %d already listening on %s", port, node.Name))
 	}
@@ -91,6 +99,8 @@ func Listen(node *cluster.Node, port int) *Listener {
 
 // Close releases the listening port.
 func (l *Listener) Close() {
+	listenersMu.Lock()
+	defer listenersMu.Unlock()
 	delete(listeners, listenerKey{l.node, l.port})
 }
 
@@ -125,7 +135,9 @@ type recvSpan struct {
 // Dial connects to an SDP listener; the handshake costs one round trip.
 func Dial(p *sim.Proc, node *cluster.Node, peer *cluster.Node, port int) *Conn {
 	key := listenerKey{peer, port}
+	listenersMu.Lock()
 	l, ok := listeners[key]
+	listenersMu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("sdp: nothing listening on %s:%d", peer.Name, port))
 	}

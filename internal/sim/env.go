@@ -38,15 +38,16 @@ func (h entryHeap) empty() bool  { return len(h) == 0 }
 // heap and the set of live processes. An Env is not safe for concurrent use
 // from multiple OS-level goroutines other than through the Proc mechanism.
 type Env struct {
-	now     Time
-	queue   entryHeap
-	seq     int64
-	yield   chan struct{} // proc -> scheduler handoff
-	current *Proc
-	procs   map[*Proc]struct{} // live (started, not finished) processes
-	stopped bool               // set by Stop to end Run early
-	nprocs  int64              // counter for default proc names
-	fatal   string             // set when a process panics; re-raised by handoff
+	now      Time
+	queue    entryHeap
+	seq      int64
+	yield    chan struct{} // proc -> scheduler handoff
+	current  *Proc
+	procs    map[*Proc]struct{} // live (started, not finished) processes
+	stopped  bool               // set by Stop to end Run early
+	nprocs   int64              // counter for default proc names
+	fatal    string             // set when a process panics; re-raised by handoff
+	executed int64              // heap entries dispatched so far
 }
 
 // NewEnv creates an empty simulation environment with the clock at zero.
@@ -96,6 +97,7 @@ func (e *Env) RunUntil(horizon Time) Time {
 		}
 		ent := heap.Pop(&e.queue).(*entry)
 		e.now = ent.at
+		e.executed++
 		ent.fn()
 	}
 	return e.now
@@ -108,12 +110,18 @@ func (e *Env) Step() bool {
 	}
 	ent := heap.Pop(&e.queue).(*entry)
 	e.now = ent.at
+	e.executed++
 	ent.fn()
 	return true
 }
 
 // Pending returns the number of scheduled heap entries.
 func (e *Env) Pending() int { return len(e.queue) }
+
+// Executed returns the number of heap entries dispatched since the
+// environment was created — a machine-independent measure of how much
+// simulation work an experiment cost.
+func (e *Env) Executed() int64 { return e.executed }
 
 // LiveProcs returns the number of started but unfinished processes.
 func (e *Env) LiveProcs() int { return len(e.procs) }

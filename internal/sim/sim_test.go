@@ -537,3 +537,27 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestExecutedCountsDispatchedEntries(t *testing.T) {
+	env := NewEnv()
+	if env.Executed() != 0 {
+		t.Fatalf("fresh env executed %d entries", env.Executed())
+	}
+	for i := 0; i < 5; i++ {
+		env.At(Time(i), func() {})
+	}
+	env.Step()
+	if env.Executed() != 1 {
+		t.Errorf("after one Step: executed = %d, want 1", env.Executed())
+	}
+	env.Run()
+	if env.Executed() != 5 {
+		t.Errorf("after Run: executed = %d, want 5", env.Executed())
+	}
+	// Entries scheduled beyond the horizon stay pending and uncounted.
+	env.At(100, func() {})
+	env.RunUntil(env.Now() + 1)
+	if env.Executed() != 5 || env.Pending() != 1 {
+		t.Errorf("horizon run: executed = %d pending = %d", env.Executed(), env.Pending())
+	}
+}

@@ -24,6 +24,25 @@ func (s *Series) Add(x, y float64) {
 	s.Y = append(s.Y, y)
 }
 
+// Alloc appends a placeholder point for x and returns its slot index, to
+// be filled later with Set. The parallel experiment harness reserves every
+// slot up front — fixing series order once, deterministically — and lets
+// workers commit measured values as they finish. Alloc itself must be
+// called from a single goroutine, before any Set.
+func (s *Series) Alloc(x float64) int {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, 0)
+	return len(s.X) - 1
+}
+
+// Set writes the y value for a slot returned by Alloc. Distinct slots may
+// be Set concurrently from different goroutines without locking: each call
+// writes a disjoint element of a slice whose growth stopped when
+// allocation finished.
+func (s *Series) Set(slot int, y float64) {
+	s.Y[slot] = y
+}
+
 // At returns the y value for the given x, and whether it exists.
 func (s *Series) At(x float64) (float64, bool) {
 	for i, xv := range s.X {

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -138,6 +140,54 @@ func TestRenderChart(t *testing.T) {
 	for _, want := range []string{"Chart", "alpha", "min 10", "max 100", "█"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllocSetMatchesAdd(t *testing.T) {
+	added := &Series{Label: "a"}
+	for i, y := range []float64{3, 1, 4, 1, 5} {
+		added.Add(float64(i), y)
+	}
+	slotted := &Series{Label: "a"}
+	var slots []int
+	for i := range added.X {
+		slots = append(slots, slotted.Alloc(float64(i)))
+	}
+	// Fill out of order, as parallel workers would.
+	for _, i := range []int{4, 0, 2, 1, 3} {
+		slotted.Set(slots[i], added.Y[i])
+	}
+	if !reflect.DeepEqual(added, slotted) {
+		t.Errorf("Alloc/Set series %+v != Add series %+v", slotted, added)
+	}
+}
+
+func TestConcurrentSetDisjointSlots(t *testing.T) {
+	// The parallel harness contract: once allocation stops, distinct
+	// slots may be committed from concurrent goroutines (run under
+	// -race to make this test load-bearing).
+	tab := NewTable("T", "x", "y")
+	s1, s2 := tab.AddSeries("a"), tab.AddSeries("b")
+	const n = 64
+	for i := 0; i < n; i++ {
+		s1.Alloc(float64(i))
+		s2.Alloc(float64(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s1.Set(i, float64(i))
+			s2.Set(i, float64(2*i))
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if s1.Y[i] != float64(i) || s2.Y[i] != float64(2*i) {
+			t.Fatalf("slot %d lost a concurrent write", i)
 		}
 	}
 }
