@@ -1,0 +1,111 @@
+package repro
+
+// DES-kernel microbenchmarks: the four hot paths every experiment in the
+// paper reproduction is wall-time-bound by. Each reports, besides ns/op
+// and allocs/op, the machine-independent events/op (heap entries
+// dispatched per benchmark op, via Env.Executed()) and the headline
+// events/s rate. Before/after numbers for the allocation-free kernel are
+// recorded in BENCH_kernel.json; regenerate with
+//
+//	go test -run='^$' -bench=Kernel -benchmem .
+//
+// CI runs the same selector at -benchtime=50x as a smoke test so these can
+// never silently rot.
+
+import (
+	"testing"
+
+	"repro/internal/perftest"
+	"repro/internal/sim"
+)
+
+// reportKernelRate attaches the events/s and events/op metrics.
+func reportKernelRate(b *testing.B, events int64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkKernelSchedule measures the bare schedule+dispatch cycle: a
+// fixed fan of self-rescheduling timers keeps the heap at a realistic
+// depth (64 pending entries) while b.N entries pass through it.
+func BenchmarkKernelSchedule(b *testing.B) {
+	env := sim.NewEnv()
+	scheduled := 0
+	var tick func()
+	tick = func() {
+		if scheduled < b.N {
+			scheduled++
+			env.At(sim.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	seed := 64
+	if seed > b.N {
+		seed = b.N
+	}
+	for i := 0; i < seed; i++ {
+		scheduled++
+		env.At(sim.Time(i), tick)
+	}
+	env.Run()
+	b.StopTimer()
+	reportKernelRate(b, env.Executed())
+}
+
+// BenchmarkKernelProcHandoff measures the process path: each op is one
+// Sleep — an event, a timer entry, a trigger and a scheduler->process
+// handoff and back.
+func BenchmarkKernelProcHandoff(b *testing.B) {
+	env := sim.NewEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Go("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+		}
+	})
+	env.Run()
+	b.StopTimer()
+	env.Shutdown()
+	reportKernelRate(b, env.Executed())
+}
+
+// BenchmarkKernelQueue measures the blocking producer/consumer channel: a
+// bounded queue forces both put-side and get-side waits, as the tcpsim
+// softirq contexts and MPI progress engines do.
+func BenchmarkKernelQueue(b *testing.B) {
+	env := sim.NewEnv()
+	q := sim.NewQueue[int](env, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	env.Run()
+	b.StopTimer()
+	env.Shutdown()
+	reportKernelRate(b, env.Executed())
+}
+
+// BenchmarkKernelRCStream measures the full simulation hot path end to
+// end: b.N 64 KB messages streamed over an RC QP through the two-cluster
+// testbed — packetization at the MTU, switch forwarding, link
+// serialization, reassembly, acks and completions.
+func BenchmarkKernelRCStream(b *testing.B) {
+	env, tb := pair(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	perftest.BandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, 64<<10, b.N, 0)
+	b.StopTimer()
+	reportKernelRate(b, env.Executed())
+}

@@ -43,6 +43,7 @@ func pair(delay sim.Time) (*sim.Env, *cluster.Testbed) {
 // `go run ./cmd/ibwan-exp -quick -bench BENCH_harness.json all`).
 
 func BenchmarkHarnessRunAllQuickSeq(b *testing.B) {
+	b.ReportAllocs()
 	var events int64
 	for i := 0; i < b.N; i++ {
 		results := core.RunAllWith(io.Discard, core.Options{Quick: true}, core.RunnerOptions{Workers: 1})
@@ -52,17 +53,26 @@ func BenchmarkHarnessRunAllQuickSeq(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(events), "sim_events")
+	reportKernelRate(b, int64(b.N)*events)
 }
 
 func BenchmarkHarnessRunAllQuickPar(b *testing.B) {
+	b.ReportAllocs()
 	workers := runtime.GOMAXPROCS(0)
+	var events int64
 	for i := 0; i < b.N; i++ {
-		core.RunAllWith(io.Discard, core.Options{Quick: true}, core.RunnerOptions{Workers: workers})
+		results := core.RunAllWith(io.Discard, core.Options{Quick: true}, core.RunnerOptions{Workers: workers})
+		events = 0
+		for _, r := range results {
+			events += r.Metrics.Events
+		}
 	}
 	b.ReportMetric(float64(workers), "workers")
+	reportKernelRate(b, int64(b.N)*events)
 }
 
 func BenchmarkTable1_DelayDistance(b *testing.B) {
+	b.ReportAllocs()
 	var last sim.Time
 	for i := 0; i < b.N; i++ {
 		for _, km := range []float64{10, 20, 200, 2000, 20000} {
@@ -73,7 +83,9 @@ func BenchmarkTable1_DelayDistance(b *testing.B) {
 }
 
 func BenchmarkFig3_VerbsLatency(b *testing.B) {
+	b.ReportAllocs()
 	var rc, ud, wr sim.Time
+	var events int64
 	for i := 0; i < b.N; i++ {
 		env1, tb1 := pair(0)
 		rc = perftest.SendLatency(env1, tb1.A[0].HCA, tb1.B[0].HCA, ib.RC, 8, 50)
@@ -81,40 +93,51 @@ func BenchmarkFig3_VerbsLatency(b *testing.B) {
 		ud = perftest.SendLatency(env2, tb2.A[0].HCA, tb2.B[0].HCA, ib.UD, 8, 50)
 		env3, tb3 := pair(0)
 		wr = perftest.WriteLatency(env3, tb3.A[0].HCA, tb3.B[0].HCA, 8, 50)
+		events += env1.Executed() + env2.Executed() + env3.Executed()
 	}
 	b.ReportMetric(rc.Microseconds(), "sendrecv_rc_us")
 	b.ReportMetric(ud.Microseconds(), "sendrecv_ud_us")
 	b.ReportMetric(wr.Microseconds(), "rdmawrite_rc_us")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig4_VerbsUDBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	var near, far float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		env1, tb1 := pair(0)
 		near = perftest.BandwidthUD(env1, tb1.A[0].HCA, tb1.B[0].HCA, ib.MaxUDPayload, 1000)
 		env2, tb2 := pair(sim.Micros(10000))
 		far = perftest.BandwidthUD(env2, tb2.A[0].HCA, tb2.B[0].HCA, ib.MaxUDPayload, 1000)
+		events += env1.Executed() + env2.Executed()
 	}
 	b.ReportMetric(near, "bw_nodelay_MBps")
 	b.ReportMetric(far, "bw_10ms_MBps")
 	b.ReportMetric(far/near, "delay_independence_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig5_VerbsRCBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	var medium, large float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		env1, tb1 := pair(sim.Micros(1000))
 		medium = perftest.BandwidthRC(env1, tb1.A[0].HCA, tb1.B[0].HCA, 64<<10, 128, 0)
 		env2, tb2 := pair(sim.Micros(1000))
 		large = perftest.BandwidthRC(env2, tb2.A[0].HCA, tb2.B[0].HCA, 4<<20, 16, 0)
+		events += env1.Executed() + env2.Executed()
 	}
 	b.ReportMetric(medium, "bw_64K_1ms_MBps")
 	b.ReportMetric(large, "bw_4M_1ms_MBps")
 	b.ReportMetric(large/medium, "large_msg_advantage_x")
+	reportKernelRate(b, events)
 }
 
-// tcpBW measures aggregate TCP throughput with the given streams/delay.
-func tcpBW(bnch *testing.B, mode ipoib.Mode, streams int, delay sim.Time, window int) float64 {
+// tcpBW measures aggregate TCP throughput with the given streams/delay,
+// returning the bandwidth and the number of simulation events executed.
+func tcpBW(bnch *testing.B, mode ipoib.Mode, streams int, delay sim.Time, window int) (float64, int64) {
 	bnch.Helper()
 	env := sim.NewEnv()
 	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: delay})
@@ -138,29 +161,39 @@ func tcpBW(bnch *testing.B, mode ipoib.Mode, streams int, delay sim.Time, window
 	env.RunUntil(dur)
 	bw := float64(sb.Stats().RxBytes-mid) / (dur / 2).Seconds() / 1e6
 	env.Shutdown()
-	return bw
+	return bw, env.Executed()
 }
 
 func BenchmarkFig6_IPoIBUD(b *testing.B) {
+	b.ReportAllocs()
 	var single, multi float64
+	var events, ev int64
 	for i := 0; i < b.N; i++ {
-		single = tcpBW(b, ipoib.Datagram, 1, sim.Micros(10000), 0)
-		multi = tcpBW(b, ipoib.Datagram, 8, sim.Micros(10000), 0)
+		single, ev = tcpBW(b, ipoib.Datagram, 1, sim.Micros(10000), 0)
+		events += ev
+		multi, ev = tcpBW(b, ipoib.Datagram, 8, sim.Micros(10000), 0)
+		events += ev
 	}
 	b.ReportMetric(single, "single_stream_10ms_MBps")
 	b.ReportMetric(multi, "eight_streams_10ms_MBps")
 	b.ReportMetric(multi/single, "parallel_gain_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig7_IPoIBRC(b *testing.B) {
+	b.ReportAllocs()
 	var near, far float64
+	var events, ev int64
 	for i := 0; i < b.N; i++ {
-		near = tcpBW(b, ipoib.Connected, 1, sim.Micros(100), 0)
-		far = tcpBW(b, ipoib.Connected, 1, sim.Micros(10000), 0)
+		near, ev = tcpBW(b, ipoib.Connected, 1, sim.Micros(100), 0)
+		events += ev
+		far, ev = tcpBW(b, ipoib.Connected, 1, sim.Micros(10000), 0)
+		events += ev
 	}
 	b.ReportMetric(near, "bw_100us_MBps")
 	b.ReportMetric(far, "bw_10ms_MBps")
 	b.ReportMetric(near/far, "sharp_drop_x")
+	reportKernelRate(b, events)
 }
 
 func mpiPair(delay sim.Time, cfg mpi.Config) *mpi.World {
@@ -170,35 +203,47 @@ func mpiPair(delay sim.Time, cfg mpi.Config) *mpi.World {
 }
 
 func BenchmarkFig8_MPIBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	var peak, medium1ms float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		w1 := mpiPair(0, mpi.Config{})
 		peak = mpi.Bandwidth(w1, 1<<20, 2)
 		w1.Shutdown()
+		events += w1.Env().Executed()
 		w2 := mpiPair(sim.Micros(1000), mpi.Config{})
 		medium1ms = mpi.Bandwidth(w2, 16<<10, 4)
 		w2.Shutdown()
+		events += w2.Env().Executed()
 	}
 	b.ReportMetric(peak, "peak_MBps")
 	b.ReportMetric(medium1ms, "bw_16K_1ms_MBps")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig9_ThresholdTuning(b *testing.B) {
+	b.ReportAllocs()
 	var orig, tuned float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		w1 := mpiPair(sim.Micros(1000), mpi.Config{})
 		orig = mpi.Bandwidth(w1, 16<<10, 4)
 		w1.Shutdown()
+		events += w1.Env().Executed()
 		w2 := mpiPair(sim.Micros(1000), mpi.Config{EagerThreshold: core.TunedThreshold})
 		tuned = mpi.Bandwidth(w2, 16<<10, 4)
 		w2.Shutdown()
+		events += w2.Env().Executed()
 	}
 	b.ReportMetric(orig, "orig_8K_thresh_MBps")
 	b.ReportMetric(tuned, "tuned_64K_thresh_MBps")
 	b.ReportMetric((tuned/orig-1)*100, "improvement_pct")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig10_MessageRate(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
 	rate := func(pairs int) float64 {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: pairs, NodesB: pairs, Delay: sim.Micros(1000)})
@@ -206,8 +251,10 @@ func BenchmarkFig10_MessageRate(b *testing.B) {
 		nodes = append(nodes, tb.A...)
 		nodes = append(nodes, tb.B...)
 		w := mpi.NewWorld(env, nodes, mpi.Config{})
-		defer w.Shutdown()
-		return mpi.MessageRate(w, pairs, 1024, 2)
+		r := mpi.MessageRate(w, pairs, 1024, 2)
+		w.Shutdown()
+		events += env.Executed()
+		return r
 	}
 	var four, sixteen float64
 	for i := 0; i < b.N; i++ {
@@ -217,15 +264,20 @@ func BenchmarkFig10_MessageRate(b *testing.B) {
 	b.ReportMetric(four, "4pairs_Mmsgs")
 	b.ReportMetric(sixteen, "16pairs_Mmsgs")
 	b.ReportMetric(sixteen/four, "scaling_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig11_Broadcast(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
 	lat := func(hier bool) sim.Time {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 16, NodesB: 16, Delay: sim.Micros(1000)})
 		w := mpi.NewWorld(env, mpi.BlockPlacement(tb.Nodes(), 2), mpi.Config{})
-		defer w.Shutdown()
-		return mpi.BcastLatency(w, 128<<10, 2, hier)
+		r := mpi.BcastLatency(w, 128<<10, 2, hier)
+		w.Shutdown()
+		events += env.Executed()
+		return r
 	}
 	var orig, hier sim.Time
 	for i := 0; i < b.N; i++ {
@@ -235,9 +287,12 @@ func BenchmarkFig11_Broadcast(b *testing.B) {
 	b.ReportMetric(orig.Microseconds(), "original_128K_1ms_us")
 	b.ReportMetric(hier.Microseconds(), "hierarchical_128K_1ms_us")
 	b.ReportMetric((1-float64(hier)/float64(orig))*100, "improvement_pct")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig12_NAS(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
 	run := func(kernel string, delay sim.Time) sim.Time {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 8, NodesB: 8, Delay: delay})
@@ -245,8 +300,10 @@ func BenchmarkFig12_NAS(b *testing.B) {
 		nodes = append(nodes, tb.A...)
 		nodes = append(nodes, tb.B...)
 		w := mpi.NewWorld(env, nodes, mpi.Config{})
-		defer w.Shutdown()
-		return nas.RunClass(w, kernel, "A")
+		r := nas.RunClass(w, kernel, "A")
+		w.Shutdown()
+		events += env.Executed()
+		return r
 	}
 	var isSlow, cgSlow float64
 	for i := 0; i < b.N; i++ {
@@ -255,12 +312,14 @@ func BenchmarkFig12_NAS(b *testing.B) {
 	}
 	b.ReportMetric(isSlow, "IS_slowdown_10ms_x")
 	b.ReportMetric(cgSlow, "CG_slowdown_10ms_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkFig13_NFS(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
 	read := func(transport string, delay sim.Time) float64 {
 		env, tb := pair(delay)
-		defer env.Shutdown()
 		var srv *nfs.Server
 		var cl *nfs.Client
 		switch transport {
@@ -270,7 +329,10 @@ func BenchmarkFig13_NFS(b *testing.B) {
 			srv, cl = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
 		}
 		srv.AddSyntheticFile("f", 32<<20)
-		return nfs.IOzone(env, cl, "f", nfs.IOzoneConfig{FileSize: 32 << 20, Threads: 8})
+		r := nfs.IOzone(env, cl, "f", nfs.IOzoneConfig{FileSize: 32 << 20, Threads: 8})
+		env.Shutdown()
+		events += env.Executed()
+		return r
 	}
 	var rdma100, rc100, rdma1ms, rc1ms float64
 	for i := 0; i < b.N; i++ {
@@ -283,6 +345,7 @@ func BenchmarkFig13_NFS(b *testing.B) {
 	b.ReportMetric(rc100, "ipoibrc_100us_MBps")
 	b.ReportMetric(rdma1ms, "rdma_1ms_MBps")
 	b.ReportMetric(rc1ms, "ipoibrc_1ms_MBps")
+	reportKernelRate(b, events)
 }
 
 // Ablations for the design choices DESIGN.md calls out.
@@ -290,23 +353,32 @@ func BenchmarkFig13_NFS(b *testing.B) {
 func BenchmarkAblationRCWindow(b *testing.B) {
 	// The RC in-flight window is the mechanism behind Fig. 5: widen it
 	// and medium messages survive high delay.
+	b.ReportAllocs()
 	var narrow, wide float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		env1, tb1 := pair(sim.Micros(1000))
 		narrow = perftest.BandwidthRC(env1, tb1.A[0].HCA, tb1.B[0].HCA, 64<<10, 128, 8)
 		env2, tb2 := pair(sim.Micros(1000))
 		wide = perftest.BandwidthRC(env2, tb2.A[0].HCA, tb2.B[0].HCA, 64<<10, 128, 64)
+		events += env1.Executed() + env2.Executed()
 	}
 	b.ReportMetric(narrow, "window8_MBps")
 	b.ReportMetric(wide, "window64_MBps")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkAblationCoalescing(b *testing.B) {
 	// Message coalescing: 2000 x 128 B records across a 1 ms link,
 	// individually vs packed into 64 KB carriers.
+	b.ReportAllocs()
+	var events int64
 	elapsed := func(coalesced bool) sim.Time {
 		w := mpiPair(sim.Micros(1000), mpi.Config{})
-		defer w.Shutdown()
+		defer func() {
+			w.Shutdown()
+			events += w.Env().Executed()
+		}()
 		return w.Run(func(r *mpi.Rank, p *sim.Proc) {
 			const records = 2000
 			switch r.ID() {
@@ -346,11 +418,14 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 	b.ReportMetric(plain.Microseconds(), "individual_us")
 	b.ReportMetric(coal.Microseconds(), "coalesced_us")
 	b.ReportMetric(float64(plain)/float64(coal), "speedup_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkAblationHierCollectives(b *testing.B) {
 	// The paper's future work, implemented: hierarchical barrier and
 	// allreduce vs their flat counterparts at 1 ms delay, 16+16 ranks.
+	b.ReportAllocs()
+	var events int64
 	measure := func(hier bool) sim.Time {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 16, NodesB: 16, Delay: sim.Micros(1000)})
@@ -358,7 +433,10 @@ func BenchmarkAblationHierCollectives(b *testing.B) {
 		nodes = append(nodes, tb.A...)
 		nodes = append(nodes, tb.B...)
 		w := mpi.NewWorld(env, nodes, mpi.Config{})
-		defer w.Shutdown()
+		defer func() {
+			w.Shutdown()
+			events += env.Executed()
+		}()
 		return w.Run(func(r *mpi.Rank, p *sim.Proc) {
 			vals := []float64{float64(r.ID())}
 			for i := 0; i < 3; i++ {
@@ -380,16 +458,22 @@ func BenchmarkAblationHierCollectives(b *testing.B) {
 	b.ReportMetric(flat.Microseconds(), "flat_us")
 	b.ReportMetric(hier.Microseconds(), "hierarchical_us")
 	b.ReportMetric(float64(flat)/float64(hier), "speedup_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkAblationSDPvsIPoIB(b *testing.B) {
 	// Related-work extension (Prescott & Taylor): SDP carries socket
 	// streams at near wire speed over the Longbows, while IPoIB pays the
 	// TCP/IP host-processing ceiling.
+	b.ReportAllocs()
+	var events int64
 	sdpBW := func() float64 {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1})
-		defer env.Shutdown()
+		defer func() {
+			env.Shutdown()
+			events += env.Executed()
+		}()
 		ln := sdp.Listen(tb.B[0], 7000)
 		defer ln.Close()
 		var srv *sdp.Conn
@@ -412,27 +496,34 @@ func BenchmarkAblationSDPvsIPoIB(b *testing.B) {
 		return float64(64<<20) / elapsed.Seconds() / 1e6
 	}
 	var s, u float64
+	var ev int64
 	for i := 0; i < b.N; i++ {
 		s = sdpBW()
-		u = tcpBW(b, ipoib.Datagram, 1, 0, 0)
+		u, ev = tcpBW(b, ipoib.Datagram, 1, 0, 0)
+		events += ev
 	}
 	b.ReportMetric(s, "sdp_MBps")
 	b.ReportMetric(u, "ipoib_ud_MBps")
 	b.ReportMetric(s/u, "sdp_advantage_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkAblationPFSStriping(b *testing.B) {
 	// Future-work extension: striping a file across object servers
 	// multiplies in-flight data over a high-delay WAN (1 OSS vs 4 OSS at
 	// 1 ms, 8 reader threads).
+	b.ReportAllocs()
+	var events int64
 	measure := func(oss int) float64 {
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: oss, Delay: sim.Micros(1000)})
-		defer env.Shutdown()
 		fs := pfs.New(tb.B, 0)
 		fs.AddSyntheticFile("f", 64<<20)
 		cl := fs.Mount(tb.A[0])
-		return pfs.Throughput(env, cl, "f", 8, 1<<20)
+		r := pfs.Throughput(env, cl, "f", 8, 1<<20)
+		env.Shutdown()
+		events += env.Executed()
+		return r
 	}
 	var one, four float64
 	for i := 0; i < b.N; i++ {
@@ -442,20 +533,26 @@ func BenchmarkAblationPFSStriping(b *testing.B) {
 	b.ReportMetric(one, "oss1_MBps")
 	b.ReportMetric(four, "oss4_MBps")
 	b.ReportMetric(four/one, "striping_gain_x")
+	reportKernelRate(b, events)
 }
 
 func BenchmarkAblationAdaptiveThreshold(b *testing.B) {
 	// AutoTune vs static default across a sweep of delays: the adaptive
 	// threshold tracks the best static choice at each distance.
+	b.ReportAllocs()
 	var static1ms, adaptive1ms float64
+	var events int64
 	for i := 0; i < b.N; i++ {
 		w1 := mpiPair(sim.Micros(1000), mpi.Config{})
 		static1ms = mpi.Bandwidth(w1, 32<<10, 2)
 		w1.Shutdown()
+		events += w1.Env().Executed()
 		w2 := mpiPair(sim.Micros(1000), core.TuneForDelay(sim.Micros(1000)))
 		adaptive1ms = mpi.Bandwidth(w2, 32<<10, 2)
 		w2.Shutdown()
+		events += w2.Env().Executed()
 	}
 	b.ReportMetric(static1ms, "static_MBps")
 	b.ReportMetric(adaptive1ms, "adaptive_MBps")
+	reportKernelRate(b, events)
 }

@@ -20,6 +20,8 @@
 //	ibwan-exp -par 8 -progress all # everything, 8 workers, live status
 //	ibwan-exp -quick -json - all   # metrics + table data as JSON on stdout
 //	ibwan-exp -quick -bench BENCH_harness.json all  # par=1 vs par=N timing
+//	ibwan-exp -cpuprofile cpu.out -par 1 fig5       # profile the hot path
+//	ibwan-exp -memprofile mem.out all               # heap profile at exit
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -57,6 +60,8 @@ func main() {
 	progress := flag.Bool("progress", false, "live per-point status line on stderr")
 	jsonOut := flag.String("json", "", "write a JSON report (metrics + table data) to this file ('-' = stdout, suppresses tables)")
 	benchOut := flag.String("bench", "", "time each experiment at -par 1 vs -par N and write the comparison JSON to this file (suppresses tables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
 			strings.Join(core.ExperimentIDs, " "))
@@ -97,16 +102,41 @@ func main() {
 		ropt.Progress = os.Stderr
 	}
 
-	if *benchOut != "" {
-		if err := runBench(*benchOut, ids, opt, ropt); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
 			os.Exit(1)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	err := run(ids, opt, ropt, *benchOut, *jsonOut, *csv, *chart)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if merr := writeMemProfile(*memProfile); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+// run executes the selected experiments and renders or serializes results.
+// Profiling bookkeeping stays in main: every exit path from here returns,
+// so the profiles are always flushed.
+func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, jsonOut string, csv, chart bool) error {
+	if benchOut != "" {
+		return runBench(benchOut, ids, opt, ropt)
+	}
 	var results []core.Result
-	render := *jsonOut != "-"
+	render := jsonOut != "-"
 	for _, id := range ids {
 		res := core.RunWith(id, opt, ropt)
 		results = append(results, res)
@@ -116,21 +146,30 @@ func main() {
 		fmt.Printf("=== %s ===\n", res.ID)
 		for _, t := range res.Tables {
 			switch {
-			case *csv:
+			case csv:
 				t.RenderCSV(os.Stdout)
-			case *chart:
+			case chart:
 				t.RenderChart(os.Stdout)
 			default:
 				t.Render(os.Stdout)
 			}
 		}
 	}
-	if *jsonOut != "" {
-		if err := writeJSONReport(*jsonOut, opt, ropt, results); err != nil {
-			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
-			os.Exit(1)
-		}
+	if jsonOut != "" {
+		return writeJSONReport(jsonOut, opt, ropt, results)
 	}
+	return nil
+}
+
+// writeMemProfile records the live-heap allocation profile at exit.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows retained allocations
+	return pprof.WriteHeapProfile(f)
 }
 
 // JSON report types: a stable schema for benchmark-trajectory tracking.

@@ -34,6 +34,81 @@ type Fabric struct {
 	nextMRID int
 	routed   bool
 	tracer   Tracer
+
+	// Freelists for wire packets and transfer contexts. They are plain
+	// slices, not sync.Pools: a fabric belongs to exactly one simulation
+	// environment and is only touched from that environment's scheduler,
+	// so unsynchronized LIFO reuse is safe and — crucially — deterministic
+	// (reuse order depends only on simulated traffic, never on GC timing
+	// or OS scheduling).
+	pktFree  []*packet
+	xferFree []*transfer
+}
+
+// newPacket returns a packet from the freelist (or a fresh one). The caller
+// overwrites every field; packets come back zeroed from freePacket.
+func (f *Fabric) newPacket() *packet {
+	if n := len(f.pktFree); n > 0 {
+		pkt := f.pktFree[n-1]
+		f.pktFree = f.pktFree[:n-1]
+		return pkt
+	}
+	return &packet{}
+}
+
+// freePacket recycles a packet at its terminal sink — after the destination
+// QP consumed it, or when fault injection dropped it on the wire — and
+// releases the packet's reference on its transfer.
+func (f *Fabric) freePacket(pkt *packet) {
+	t := pkt.msg
+	*pkt = packet{}
+	f.pktFree = append(f.pktFree, pkt)
+	if t != nil {
+		f.unref(t)
+	}
+}
+
+// newTransfer returns a zeroed transfer context carrying a fresh message id.
+// Ids stay monotonic across recycling, so id-keyed state (QP inflight maps,
+// retry timers) can never confuse two uses of the same memory.
+func (f *Fabric) newTransfer() *transfer {
+	f.nextMsg++
+	var t *transfer
+	if n := len(f.xferFree); n > 0 {
+		t = f.xferFree[n-1]
+		f.xferFree = f.xferFree[:n-1]
+	} else {
+		t = &transfer{}
+	}
+	t.id = f.nextMsg
+	return t
+}
+
+// ref records a live reference to t: a packet on the wire carrying it, or a
+// scheduled protocol action (overhead stage, ack emission) that captured it.
+func (f *Fabric) ref(t *transfer) { t.refs++ }
+
+// unref releases one reference and recycles t if it was the last and both
+// endpoints are done. Transfers that never reach that state (e.g. a UD
+// datagram lost on the wire, or work cut short by Env.Shutdown) simply fall
+// back to the garbage collector — leaking to the GC is safe, recycling too
+// early is not.
+func (f *Fabric) unref(t *transfer) {
+	t.refs--
+	if t.refs < 0 {
+		panic("ib: transfer reference count underflow")
+	}
+	f.maybeFree(t)
+}
+
+// maybeFree recycles t once nothing can touch it again: no wire packet or
+// scheduled action references it, the initiator has completed it
+// (senderDone) and the responder has finished with it (recvDone).
+func (f *Fabric) maybeFree(t *transfer) {
+	if t.refs == 0 && t.senderDone && t.recvDone {
+		*t = transfer{}
+		f.xferFree = append(f.xferFree, t)
+	}
 }
 
 // NewFabric creates an empty fabric on the given simulation environment.
@@ -72,8 +147,8 @@ func (f *Fabric) AddSwitch(name string, forwardDelay sim.Time) *Switch {
 // WAN layer) can later adjust the delay.
 func (f *Fabric) Connect(a, b Device, rate Rate, prop sim.Time) *Link {
 	l := &Link{env: f.env, rate: rate, prop: prop}
-	pa := &Port{env: f.env, dev: a, link: l}
-	pb := &Port{env: f.env, dev: b, link: l}
+	pa := newPort(f.env, a, l)
+	pb := newPort(f.env, b, l)
 	pa.peer, pb.peer = pb, pa
 	l.a, l.b = pa, pb
 	a.attach(pa)
@@ -182,6 +257,18 @@ type Port struct {
 	busyUntil sim.Time
 	txBytes   int64
 	txPkts    int64
+	// deliverArg and sendArg are this port's packet handlers as long-lived
+	// func(any) values, so per-packet scheduling (link propagation, switch
+	// forwarding) rides the kernel's closure-free AtArg path.
+	deliverArg func(any)
+	sendArg    func(any)
+}
+
+func newPort(env *sim.Env, dev Device, link *Link) *Port {
+	p := &Port{env: env, dev: dev, link: link}
+	p.deliverArg = func(v any) { p.dev.receive(v.(*packet), p) }
+	p.sendArg = func(v any) { p.send(v.(*packet)) }
+	return p
 }
 
 // send serializes pkt onto the link toward the peer port.
@@ -201,11 +288,11 @@ func (p *Port) send(pkt *packet) {
 	if p.link.DropFn != nil && p.link.DropFn(pkt.wire) {
 		p.link.drops++
 		fab.trace("drop", p.dev, pkt)
+		fab.freePacket(pkt)
 		return
 	}
 	arrive := depart + p.link.prop
-	peer := p.peer
-	p.env.At(arrive-now, func() { peer.dev.receive(pkt, peer) })
+	p.env.AtArg(arrive-now, p.peer.deliverArg, pkt)
 }
 
 // TxBytes returns the total wire bytes transmitted from this port.
@@ -240,5 +327,5 @@ func (s *Switch) receive(pkt *packet, on *Port) {
 	if out == nil {
 		panic(fmt.Sprintf("ib: switch %s has no route to LID %d", s.name, pkt.dst))
 	}
-	s.fab.env.At(s.fwd, func() { out.send(pkt) })
+	s.fab.env.AtArg(s.fwd, out.sendArg, pkt)
 }

@@ -59,8 +59,9 @@ func (h *HCA) receive(pkt *packet, on *Port) {
 	if qp == nil {
 		panic(fmt.Sprintf("ib: HCA %s: packet for unknown QP %d", h.name, pkt.dstQP))
 	}
-	// Per-packet HCA processing is a pipeline latency stage.
-	h.fab.env.At(PacketProc, func() { qp.receive(pkt) })
+	// Per-packet HCA processing is a pipeline latency stage. The QP's
+	// cached handler consumes the packet and recycles it.
+	h.fab.env.AtArg(PacketProc, qp.recvArg, pkt)
 }
 
 // RegisterMR registers buf as an RDMA-accessible memory region and returns

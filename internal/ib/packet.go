@@ -45,4 +45,19 @@ type transfer struct {
 	readData []byte
 	// data carried by a UD datagram (single packet).
 	udData []byte
+	// rwr is the receive WQE consumed by this transfer (send/recv
+	// semantics), stashed here between delivery and the completion posting
+	// so the receive-overhead stage can run through a cached arg-handler
+	// instead of a per-message closure.
+	rwr RecvWR
+
+	// Freelist accounting (see Fabric.newTransfer). refs counts live
+	// references from outside the QP state machines: wire packets carrying
+	// this transfer plus scheduled protocol actions (overhead timers, ack
+	// emissions) that captured it. senderDone/recvDone flag that the
+	// initiating and responding endpoints have each finished with the
+	// transfer. The transfer is recycled when all three say so.
+	refs       int
+	senderDone bool
+	recvDone   bool
 }

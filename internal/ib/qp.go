@@ -104,50 +104,48 @@ type Completion struct {
 	Meta any
 }
 
-// CQ is a completion queue processes can block on.
+// CQ is a completion queue processes can block on. Entries and parked
+// pollers live in ring buffers, and poll events are recycled through the
+// environment's freelist, so steady-state completion traffic allocates
+// nothing.
 type CQ struct {
 	env     *sim.Env
-	items   []Completion
-	waiters []*sim.Event
+	items   sim.Ring[Completion]
+	waiters sim.Ring[*sim.Event]
 }
 
 // NewCQ creates a completion queue.
 func NewCQ(env *sim.Env) *CQ { return &CQ{env: env} }
 
 func (c *CQ) post(comp Completion) {
-	c.items = append(c.items, comp)
-	if len(c.waiters) > 0 {
-		ev := c.waiters[0]
-		c.waiters = c.waiters[1:]
-		ev.Trigger(nil)
+	c.items.Push(comp)
+	if c.waiters.Len() > 0 {
+		c.waiters.Pop().Trigger(nil)
 	}
 }
 
 // Poll blocks the calling process until a completion is available and
 // returns it.
 func (c *CQ) Poll(p *sim.Proc) Completion {
-	for len(c.items) == 0 {
-		ev := c.env.NewEvent()
-		c.waiters = append(c.waiters, ev)
+	for c.items.Len() == 0 {
+		ev := c.env.AcquireEvent()
+		c.waiters.Push(ev)
 		p.Wait(ev)
+		c.env.ReleaseEvent(ev)
 	}
-	comp := c.items[0]
-	c.items = c.items[1:]
-	return comp
+	return c.items.Pop()
 }
 
 // TryPoll returns a completion if one is pending.
 func (c *CQ) TryPoll() (Completion, bool) {
-	if len(c.items) == 0 {
+	if c.items.Len() == 0 {
 		return Completion{}, false
 	}
-	comp := c.items[0]
-	c.items = c.items[1:]
-	return comp, true
+	return c.items.Pop(), true
 }
 
 // Len returns the number of pending completions.
-func (c *CQ) Len() int { return len(c.items) }
+func (c *CQ) Len() int { return c.items.Len() }
 
 // Stats counts per-QP protocol events.
 type Stats struct {
@@ -173,15 +171,28 @@ type QP struct {
 	remote *QP
 
 	// Sender state.
-	sendQ    []*transfer
+	sendQ    sim.Ring[*transfer]
 	inflight map[int64]*transfer
 	seqTx    int64 // next message sequence to assign (this direction)
 
 	// Receiver state.
-	recvQ   []RecvWR
-	pending []*transfer // completed inbound sends waiting for a recv WQE
-	seqRx   int64       // next message sequence to deliver
+	recvQ   sim.Ring[RecvWR]
+	pending sim.Ring[*transfer] // completed inbound sends waiting for a recv WQE
+	seqRx   int64               // next message sequence to deliver
 	reorder map[int64]*transfer
+
+	// Cached func(any) handlers, created once per QP so the protocol's
+	// pipeline stages (packet processing, send/recv overheads, ack
+	// emission) schedule through sim.Env.AtArg without allocating a
+	// closure per message or per packet.
+	recvArg      func(any) // consume + recycle an arriving packet
+	launchArg    func(any) // transmit a transfer after SendOverhead
+	ackArg       func(any) // emit an ack after RecvOverheadSR
+	writeDoneArg func(any) // RDMA write responder completion
+	readDoneArg  func(any) // RDMA read requester completion
+	readServeArg func(any) // RDMA read responder data streaming
+	recvCompArg  func(any) // recv WQE completion posting
+	udSendArg    func(any) // UD datagram transmission
 
 	stats Stats
 }
@@ -198,6 +209,18 @@ func (h *HCA) CreateQP(cq *CQ, cfg QPConfig) *QP {
 	h.fab.nextQPN++
 	qp := &QP{hca: h, qpn: h.fab.nextQPN, cfg: cfg, cq: cq,
 		inflight: make(map[int64]*transfer), reorder: make(map[int64]*transfer)}
+	qp.recvArg = func(v any) {
+		pkt := v.(*packet)
+		qp.receive(pkt)
+		h.fab.freePacket(pkt)
+	}
+	qp.launchArg = func(v any) { qp.launchBody(v.(*transfer)) }
+	qp.ackArg = func(v any) { qp.ackSend(v.(*transfer)) }
+	qp.writeDoneArg = func(v any) { qp.writeDone(v.(*transfer)) }
+	qp.readDoneArg = func(v any) { qp.readDone(v.(*transfer)) }
+	qp.readServeArg = func(v any) { qp.readServe(v.(*transfer)) }
+	qp.recvCompArg = func(v any) { qp.recvComp(v.(*transfer)) }
+	qp.udSendArg = func(v any) { qp.udSend(v.(*transfer)) }
 	h.qps[qp.qpn] = qp
 	return qp
 }
@@ -244,12 +267,10 @@ func (q *QP) Config() QPConfig { return q.cfg }
 
 // PostRecv posts a receive work request.
 func (q *QP) PostRecv(wr RecvWR) {
-	q.recvQ = append(q.recvQ, wr)
+	q.recvQ.Push(wr)
 	// Satisfy any buffered (RNR'd) sends in arrival order.
-	for len(q.pending) > 0 && len(q.recvQ) > 0 {
-		t := q.pending[0]
-		q.pending = q.pending[1:]
-		q.deliverSend(t)
+	for q.pending.Len() > 0 && q.recvQ.Len() > 0 {
+		q.deliverSend(q.pending.Pop())
 	}
 }
 

@@ -30,8 +30,11 @@ func (q *QP) rcPostSend(wr SendWR) {
 	default:
 		panic("ib: bad opcode for PostSend")
 	}
-	q.hca.fab.nextMsg++
-	t := &transfer{id: q.hca.fab.nextMsg, wr: wr, size: size, origin: q, qpSeq: -1}
+	t := q.hca.fab.newTransfer()
+	t.wr = wr
+	t.size = size
+	t.origin = q
+	t.qpSeq = -1
 	if wr.Op != OpRDMARead {
 		// Sends and RDMA writes deliver at the responder in posted order.
 		// Read requests are served out of the sequence stream (their
@@ -39,46 +42,53 @@ func (q *QP) rcPostSend(wr SendWR) {
 		t.qpSeq = q.seqTx
 		q.seqTx++
 	}
-	q.sendQ = append(q.sendQ, t)
+	q.sendQ.Push(t)
 	q.kick()
 }
 
 // kick launches queued transfers while the in-flight window has room.
 func (q *QP) kick() {
-	for len(q.inflight) < q.cfg.MaxInflight && len(q.sendQ) > 0 {
-		t := q.sendQ[0]
-		q.sendQ = q.sendQ[1:]
+	for len(q.inflight) < q.cfg.MaxInflight && q.sendQ.Len() > 0 {
+		t := q.sendQ.Pop()
 		q.inflight[t.id] = t
-		q.launch(t, true)
+		q.launch(t)
 	}
 }
 
-// launch transmits all packets of a transfer. For RDMA read, a single
-// request packet is sent and the responder streams the data back.
-func (q *QP) launch(t *transfer, first bool) {
-	env := q.env()
-	env.At(SendOverhead, func() {
-		port := q.hca.routeTo(q.remote.hca.lid)
-		if t.wr.Op == OpRDMARead {
-			q.stats.ReadRequests++
-			port.send(&packet{
-				src: q.hca.lid, dst: q.remote.hca.lid,
-				srcQP: q.qpn, dstQP: q.remote.qpn,
-				kind: pktReadReq, wire: ReadReqBytes, msg: t, last: true,
-			})
-		} else {
-			q.sendDataPackets(port, q.remote, t, pktData)
-			q.stats.MsgsSent++
-			q.stats.BytesSent += int64(t.size)
+// launch schedules transmission of a transfer after the send-side overhead.
+// For RDMA read, a single request packet is sent and the responder streams
+// the data back.
+func (q *QP) launch(t *transfer) {
+	q.hca.fab.ref(t)
+	q.env().AtArg(SendOverhead, q.launchArg, t)
+}
+
+// launchBody transmits all packets of a transfer (the SendOverhead stage).
+func (q *QP) launchBody(t *transfer) {
+	fab := q.hca.fab
+	port := q.hca.routeTo(q.remote.hca.lid)
+	if t.wr.Op == OpRDMARead {
+		q.stats.ReadRequests++
+		pkt := fab.newPacket()
+		*pkt = packet{
+			src: q.hca.lid, dst: q.remote.hca.lid,
+			srcQP: q.qpn, dstQP: q.remote.qpn,
+			kind: pktReadReq, wire: ReadReqBytes, msg: t, last: true,
 		}
-		if first || t.retried > 0 {
-			q.armRetry(t)
-		}
-	})
+		fab.ref(t)
+		port.send(pkt)
+	} else {
+		q.sendDataPackets(port, q.remote, t, pktData)
+		q.stats.MsgsSent++
+		q.stats.BytesSent += int64(t.size)
+	}
+	q.armRetry(t)
+	fab.unref(t)
 }
 
 // sendDataPackets packetizes a transfer onto the wire toward dst.
 func (q *QP) sendDataPackets(port *Port, dst *QP, t *transfer, kind pktKind) {
+	fab := q.hca.fab
 	n := (t.size + MTU - 1) / MTU
 	if n == 0 {
 		n = 1
@@ -90,28 +100,36 @@ func (q *QP) sendDataPackets(port *Port, dst *QP, t *transfer, kind pktKind) {
 			chunk = MTU
 		}
 		remaining -= chunk
-		port.send(&packet{
+		pkt := fab.newPacket()
+		*pkt = packet{
 			src: q.hca.lid, dst: dst.hca.lid,
 			srcQP: q.qpn, dstQP: dst.qpn,
 			kind: kind, wire: HeaderRC + chunk, payload: chunk,
 			msg: t, seq: i, last: i == n-1,
-		})
+		}
+		// Every caller holds its own reference on t for the duration of
+		// this loop, so a fault-injected drop inside port.send (which
+		// releases the packet's reference) can never recycle t mid-loop.
+		fab.ref(t)
+		port.send(pkt)
 	}
 }
 
 // armRetry schedules a retransmission if the transfer is not acknowledged
-// within the retry timeout. In a loss-free fabric this never fires.
+// within the retry timeout. In a loss-free fabric this never fires. The
+// timer captures the transfer id, not the transfer: ids are never reused,
+// so a transfer acked and recycled during the (long) timeout is simply
+// absent from the inflight map, and the timer holds nothing alive.
 func (q *QP) armRetry(t *transfer) {
+	id := t.id
 	q.env().At(q.cfg.RetryTimeout, func() {
-		if t.acked {
-			return
-		}
-		if _, still := q.inflight[t.id]; !still {
+		t, still := q.inflight[id]
+		if !still || t.acked {
 			return
 		}
 		t.retried++
 		q.stats.Retransmits++
-		q.launch(t, false)
+		q.launch(t)
 	})
 }
 
@@ -158,12 +176,8 @@ func (q *QP) rcData(pkt *packet, readResp bool) {
 		if t.wr.LocalBuf != nil && t.readData != nil {
 			copy(t.wr.LocalBuf, t.readData)
 		}
-		q.env().At(RecvOverheadRDMA, func() {
-			delete(q.inflight, t.id)
-			t.acked = true
-			q.cq.post(Completion{Op: OpRDMARead, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-			q.kick()
-		})
+		q.hca.fab.ref(t)
+		q.env().AtArg(RecvOverheadRDMA, q.readDoneArg, t)
 		return
 	}
 	// Deliver strictly in message-sequence order. A message that overtook
@@ -184,6 +198,17 @@ func (q *QP) rcData(pkt *packet, readResp bool) {
 	}
 }
 
+// readDone completes an RDMA read on the requester side (the
+// RecvOverheadRDMA stage).
+func (q *QP) readDone(t *transfer) {
+	delete(q.inflight, t.id)
+	t.acked = true
+	q.cq.post(Completion{Op: OpRDMARead, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	t.senderDone = true
+	q.kick()
+	q.hca.fab.unref(t)
+}
+
 // deliverInOrder applies a completed inbound transfer's effects.
 func (q *QP) deliverInOrder(t *transfer) {
 	q.seqRx++
@@ -191,9 +216,9 @@ func (q *QP) deliverInOrder(t *transfer) {
 	q.stats.BytesRecv += int64(t.size)
 	switch t.wr.Op {
 	case OpSend:
-		if len(q.recvQ) == 0 {
+		if q.recvQ.Len() == 0 {
 			q.stats.RNRBuffered++
-			q.pending = append(q.pending, t)
+			q.pending.Push(t)
 		} else {
 			q.deliverSend(t)
 		}
@@ -202,42 +227,66 @@ func (q *QP) deliverInOrder(t *transfer) {
 		if t.wr.Data != nil && t.wr.RemoteMR.Buf != nil {
 			copy(t.wr.RemoteMR.Buf[t.wr.RemoteOff:], t.wr.Data)
 		}
-		q.env().At(RecvOverheadRDMA, func() {
-			q.sendAckNow(t)
-			if t.wr.NotifyRemote {
-				q.cq.post(Completion{Op: OpRDMAWrite, Status: StatusOK, Bytes: t.size,
-					QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
-			}
-		})
+		q.hca.fab.ref(t)
+		q.env().AtArg(RecvOverheadRDMA, q.writeDoneArg, t)
 	}
+}
+
+// writeDone finishes an RDMA write on the responder side (the
+// RecvOverheadRDMA stage): acknowledge and optionally notify.
+func (q *QP) writeDone(t *transfer) {
+	q.sendAckNow(t)
+	if t.wr.NotifyRemote {
+		q.cq.post(Completion{Op: OpRDMAWrite, Status: StatusOK, Bytes: t.size,
+			QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+	}
+	t.recvDone = true
+	q.hca.fab.unref(t)
 }
 
 // deliverSend consumes a receive WQE for a completed inbound send.
 func (q *QP) deliverSend(t *transfer) {
-	rwr := q.recvQ[0]
-	q.recvQ = q.recvQ[1:]
+	rwr := q.recvQ.Pop()
 	if rwr.Buf != nil && t.wr.Data != nil {
 		copy(rwr.Buf, t.wr.Data)
 	}
-	q.env().At(RecvOverheadSR, func() {
-		q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
-	})
+	t.rwr = rwr
+	q.hca.fab.ref(t)
+	q.env().AtArg(RecvOverheadSR, q.recvCompArg, t)
+}
+
+// recvComp posts the receive completion (the RecvOverheadSR stage).
+func (q *QP) recvComp(t *transfer) {
+	q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: t.rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+	t.recvDone = true
+	q.hca.fab.unref(t)
 }
 
 // sendAck acknowledges a completed inbound transfer after the
 // channel-semantics receive overhead.
 func (q *QP) sendAck(t *transfer) {
-	q.env().At(RecvOverheadSR, func() { q.sendAckNow(t) })
+	q.hca.fab.ref(t)
+	q.env().AtArg(RecvOverheadSR, q.ackArg, t)
+}
+
+// ackSend emits the ack (the RecvOverheadSR stage behind sendAck).
+func (q *QP) ackSend(t *transfer) {
+	q.sendAckNow(t)
+	q.hca.fab.unref(t)
 }
 
 func (q *QP) sendAckNow(t *transfer) {
 	q.stats.Acks++
 	port := q.hca.routeTo(q.remote.hca.lid)
-	port.send(&packet{
+	fab := q.hca.fab
+	pkt := fab.newPacket()
+	*pkt = packet{
 		src: q.hca.lid, dst: q.remote.hca.lid,
 		srcQP: q.qpn, dstQP: q.remote.qpn,
 		kind: pktAck, wire: AckBytes, msg: t, last: true,
-	})
+	}
+	fab.ref(t)
+	port.send(pkt)
 }
 
 // rcAck completes the acknowledged transfer and slides the window.
@@ -249,6 +298,7 @@ func (q *QP) rcAck(pkt *packet) {
 	t.acked = true
 	delete(q.inflight, t.id)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	t.senderDone = true
 	q.kick()
 }
 
@@ -264,8 +314,15 @@ func (q *QP) rcReadReq(pkt *packet) {
 		t.readData = make([]byte, t.size)
 		copy(t.readData, mr.Buf[t.wr.RemoteOff:t.wr.RemoteOff+t.size])
 	}
-	q.env().At(RecvOverheadRDMA, func() {
-		port := q.hca.routeTo(q.remote.hca.lid)
-		q.sendDataPackets(port, q.remote, t, pktReadResp)
-	})
+	q.hca.fab.ref(t)
+	q.env().AtArg(RecvOverheadRDMA, q.readServeArg, t)
+}
+
+// readServe streams RDMA read response data back to the requester (the
+// responder's RecvOverheadRDMA stage).
+func (q *QP) readServe(t *transfer) {
+	port := q.hca.routeTo(q.remote.hca.lid)
+	q.sendDataPackets(port, q.remote, t, pktReadResp)
+	t.recvDone = true
+	q.hca.fab.unref(t)
 }

@@ -21,41 +21,56 @@ func (q *QP) udPostSend(wr SendWR) {
 		panic("ib: UD send requires DestLID/DestQPN")
 	}
 	q.hca.fab.ensureRouted()
-	q.hca.fab.nextMsg++
-	t := &transfer{id: q.hca.fab.nextMsg, wr: wr, size: size, origin: q, udData: wr.Data}
-	env := q.env()
-	env.At(SendOverhead, func() {
-		port := q.hca.routeTo(wr.DestLID)
-		if port == nil {
-			panic(fmt.Sprintf("ib: no route from %s to LID %d", q.hca.name, wr.DestLID))
-		}
-		port.send(&packet{
-			src: q.hca.lid, dst: wr.DestLID,
-			srcQP: q.qpn, dstQP: wr.DestQPN,
-			kind: pktData, wire: HeaderUD + size, payload: size,
-			msg: t, last: true,
-		})
-		q.stats.MsgsSent++
-		q.stats.BytesSent += int64(size)
-		q.cq.post(Completion{Op: OpSend, Status: StatusOK, Bytes: size, Ctx: wr.Ctx, QPN: q.qpn})
-	})
+	fab := q.hca.fab
+	t := fab.newTransfer()
+	t.wr = wr
+	t.size = size
+	t.origin = q
+	t.udData = wr.Data
+	fab.ref(t)
+	q.env().AtArg(SendOverhead, q.udSendArg, t)
+}
+
+// udSend puts the datagram on the wire (the SendOverhead stage).
+func (q *QP) udSend(t *transfer) {
+	fab := q.hca.fab
+	port := q.hca.routeTo(t.wr.DestLID)
+	if port == nil {
+		panic(fmt.Sprintf("ib: no route from %s to LID %d", q.hca.name, t.wr.DestLID))
+	}
+	pkt := fab.newPacket()
+	*pkt = packet{
+		src: q.hca.lid, dst: t.wr.DestLID,
+		srcQP: q.qpn, dstQP: t.wr.DestQPN,
+		kind: pktData, wire: HeaderUD + t.size, payload: t.size,
+		msg: t, last: true,
+	}
+	fab.ref(t)
+	port.send(pkt)
+	q.stats.MsgsSent++
+	q.stats.BytesSent += int64(t.size)
+	q.cq.post(Completion{Op: OpSend, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	t.senderDone = true
+	fab.unref(t)
 }
 
 // udReceive delivers a datagram into a posted receive, or drops it.
 func (q *QP) udReceive(pkt *packet) {
 	t := pkt.msg
-	if len(q.recvQ) == 0 {
+	if q.recvQ.Len() == 0 {
 		q.stats.RecvDrops++
+		// Nothing on this end will ever touch the transfer again; the
+		// packet's reference (released by the caller) recycles it.
+		t.recvDone = true
 		return
 	}
-	rwr := q.recvQ[0]
-	q.recvQ = q.recvQ[1:]
+	rwr := q.recvQ.Pop()
 	if rwr.Buf != nil && t.udData != nil {
 		copy(rwr.Buf, t.udData)
 	}
 	q.stats.MsgsRecv++
 	q.stats.BytesRecv += int64(t.size)
-	q.env().At(RecvOverheadSR, func() {
-		q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
-	})
+	t.rwr = rwr
+	q.hca.fab.ref(t)
+	q.env().AtArg(RecvOverheadSR, q.recvCompArg, t)
 }

@@ -1,38 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 )
-
-// entry is a scheduled closure on the event heap.
-type entry struct {
-	at  Time
-	seq int64 // tie-breaker: FIFO among equal times
-	fn  func()
-}
-
-type entryHeap []*entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*entry)) }
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h entryHeap) peek() *entry { return h[0] }
-func (h entryHeap) empty() bool  { return len(h) == 0 }
 
 // Env is a discrete-event simulation environment: a virtual clock, an event
 // heap and the set of live processes. An Env is not safe for concurrent use
@@ -48,6 +19,7 @@ type Env struct {
 	nprocs   int64              // counter for default proc names
 	fatal    string             // set when a process panics; re-raised by handoff
 	executed int64              // heap entries dispatched so far
+	evFree   []*Event           // recycled Events (see AcquireEvent)
 }
 
 // NewEnv creates an empty simulation environment with the clock at zero.
@@ -61,13 +33,35 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// schedule enqueues fn to run at absolute time at (>= e.now).
-func (e *Env) schedule(at Time, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, e.now))
+// push enqueues ent at absolute time ent.at (>= e.now), stamping the FIFO
+// tie-breaker sequence.
+func (e *Env) push(ent entry) {
+	if ent.at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", ent.at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &entry{at: at, seq: e.seq, fn: fn})
+	ent.seq = e.seq
+	e.queue.push(ent)
+}
+
+// schedule enqueues fn to run at absolute time at (>= e.now).
+func (e *Env) schedule(at Time, fn func()) {
+	e.push(entry{at: at, kind: kindFn, fn: fn})
+}
+
+// scheduleArg enqueues fn(v) at absolute time at without a closure.
+func (e *Env) scheduleArg(at Time, fn func(any), v any) {
+	e.push(entry{at: at, kind: kindFnArg, fnv: fn, val: v})
+}
+
+// scheduleResume enqueues the resumption of p with value v at time at.
+func (e *Env) scheduleResume(at Time, p *Proc, v any) {
+	e.push(entry{at: at, kind: kindResume, p: p, val: v})
+}
+
+// scheduleTrigger enqueues ev.Trigger(v) at time at.
+func (e *Env) scheduleTrigger(at Time, ev *Event, v any) {
+	e.push(entry{at: at, kind: kindTrigger, ev: ev, val: v})
 }
 
 // At schedules fn to be invoked (in scheduler context, not in a process) at
@@ -78,6 +72,36 @@ func (e *Env) At(delay Time, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.schedule(e.now+delay, fn)
+}
+
+// AtArg schedules fn(arg) at the given delay from now. Unlike At, it
+// allocates no closure: fn is typically a long-lived function value cached
+// by the caller (a port's deliver hook, a QP's receive hook) and arg the
+// per-event payload, so hardware models can schedule millions of packet
+// events without per-event garbage.
+func (e *Env) AtArg(delay Time, fn func(any), arg any) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.scheduleArg(e.now+delay, fn, arg)
+}
+
+// dispatch advances the clock to ent and executes it.
+func (e *Env) dispatch(ent *entry) {
+	e.now = ent.at
+	e.executed++
+	switch ent.kind {
+	case kindFn:
+		ent.fn()
+	case kindFnArg:
+		ent.fnv(ent.val)
+	case kindResume:
+		if p := ent.p; !p.finished && !p.killed {
+			e.handoff(p, ent.val)
+		}
+	case kindTrigger:
+		ent.ev.Trigger(ent.val)
+	}
 }
 
 // Run executes scheduled work until the event heap is empty or Stop is
@@ -95,10 +119,8 @@ func (e *Env) RunUntil(horizon Time) Time {
 			e.now = horizon
 			return e.now
 		}
-		ent := heap.Pop(&e.queue).(*entry)
-		e.now = ent.at
-		e.executed++
-		ent.fn()
+		ent := e.queue.pop()
+		e.dispatch(&ent)
 	}
 	return e.now
 }
@@ -108,15 +130,13 @@ func (e *Env) Step() bool {
 	if e.queue.empty() {
 		return false
 	}
-	ent := heap.Pop(&e.queue).(*entry)
-	e.now = ent.at
-	e.executed++
-	ent.fn()
+	ent := e.queue.pop()
+	e.dispatch(&ent)
 	return true
 }
 
 // Pending returns the number of scheduled heap entries.
-func (e *Env) Pending() int { return len(e.queue) }
+func (e *Env) Pending() int { return e.queue.len() }
 
 // Executed returns the number of heap entries dispatched since the
 // environment was created — a machine-independent measure of how much
@@ -134,15 +154,22 @@ func (e *Env) Stop() { e.stopped = true }
 // must be called from outside process context (i.e., not from within a
 // Proc), typically after Run returns. The environment remains usable for
 // inspection but no further processes should be started.
+//
+// Victims die in ascending id (creation) order. The live set is collected
+// and sorted once per round rather than min-scanned per kill (the old
+// O(n²) behavior); extra rounds only happen when a victim's deferred
+// cleanup starts new processes, which — ids being monotonic — are always
+// killed after every process of the previous round, exactly as before.
 func (e *Env) Shutdown() {
+	var victims []*Proc
 	for len(e.procs) > 0 {
-		// Pick the process with the smallest id for determinism.
-		var victim *Proc
+		victims = victims[:0]
 		for p := range e.procs {
-			if victim == nil || p.id < victim.id {
-				victim = p
-			}
+			victims = append(victims, p)
 		}
-		victim.Kill()
+		sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+		for _, p := range victims {
+			p.Kill() // no-op if a prior victim's unwind finished it
+		}
 	}
 }

@@ -10,8 +10,39 @@ type Event struct {
 	callbacks []func(any)
 }
 
-// NewEvent creates an untriggered event.
+// NewEvent creates an untriggered event. The event's lifetime is managed by
+// the garbage collector; kernel-internal hot paths with a provable last use
+// recycle events through AcquireEvent/ReleaseEvent instead.
 func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// AcquireEvent returns an untriggered event from the environment's
+// freelist (or a fresh one). It is the allocation-free counterpart of
+// NewEvent for blocking primitives — sleep timers, queue and resource
+// waits, CQ polls — whose events have a strictly scoped lifetime: created,
+// waited on, triggered exactly once, then dead.
+func (e *Env) AcquireEvent() *Event {
+	if n := len(e.evFree); n > 0 {
+		ev := e.evFree[n-1]
+		e.evFree = e.evFree[:n-1]
+		return ev
+	}
+	return &Event{env: e}
+}
+
+// ReleaseEvent recycles ev onto the freelist. The caller asserts that no
+// reference to ev survives — no parked waiter, no pending callback, no
+// scheduled trigger. The canonical pattern is release immediately after a
+// Wait on the event returns. Events a peer may still observe (completion
+// events handed to user code, WaitAny composites) must use NewEvent and be
+// left to the garbage collector. The freelist is per-Env and therefore
+// deterministic: reuse order depends only on the simulation itself.
+func (e *Env) ReleaseEvent(ev *Event) {
+	ev.triggered = false
+	ev.val = nil
+	ev.waiters = ev.waiters[:0]
+	ev.callbacks = ev.callbacks[:0]
+	e.evFree = append(e.evFree, ev)
+}
 
 // Triggered reports whether the event has fired.
 func (ev *Event) Triggered() bool { return ev.triggered }
@@ -29,21 +60,18 @@ func (ev *Event) Trigger(v any) {
 	}
 	ev.triggered = true
 	ev.val = v
-	waiters, callbacks := ev.waiters, ev.callbacks
-	ev.waiters, ev.callbacks = nil, nil
-	for _, w := range waiters {
-		w := w
-		ev.env.schedule(ev.env.now, func() {
-			if w.finished || w.killed {
-				return
-			}
-			ev.env.handoff(w, v)
-		})
+	env := ev.env
+	for _, w := range ev.waiters {
+		env.scheduleResume(env.now, w, v)
 	}
-	for _, cb := range callbacks {
-		cb := cb
-		ev.env.schedule(ev.env.now, func() { cb(v) })
+	for _, cb := range ev.callbacks {
+		env.scheduleArg(env.now, cb, v)
 	}
+	// Truncate rather than nil out: a recycled event reuses the backing
+	// arrays. Nothing can append after the trigger — late Waits return
+	// immediately and late OnTriggers schedule directly.
+	ev.waiters = ev.waiters[:0]
+	ev.callbacks = ev.callbacks[:0]
 }
 
 // TryTrigger fires the event if it has not fired yet and reports whether it
@@ -60,8 +88,7 @@ func (ev *Event) TryTrigger(v any) bool {
 // cb is scheduled immediately.
 func (ev *Event) onTrigger(cb func(any)) {
 	if ev.triggered {
-		v := ev.val
-		ev.env.schedule(ev.env.now, func() { cb(v) })
+		ev.env.scheduleArg(ev.env.now, cb, ev.val)
 		return
 	}
 	ev.callbacks = append(ev.callbacks, cb)

@@ -36,12 +36,9 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	e.procs[p] = struct{}{}
 	go p.run(fn)
-	e.schedule(e.now, func() {
-		if p.killed || p.finished {
-			return
-		}
-		e.handoff(p, nil)
-	})
+	// First activation rides a typed resume entry (which skips killed or
+	// finished processes at dispatch), not a closure.
+	e.scheduleResume(e.now, p, nil)
 	return p
 }
 
@@ -156,9 +153,14 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	ev := p.env.NewEvent()
-	p.env.At(d, func() { ev.Trigger(nil) })
+	// The timer event's lifetime is exactly this call: recycle it. If the
+	// process is killed mid-sleep the release is skipped and the event
+	// falls back to the garbage collector, which is safe.
+	env := p.env
+	ev := env.AcquireEvent()
+	env.scheduleTrigger(env.now+d, ev, nil)
 	p.Wait(ev)
+	env.ReleaseEvent(ev)
 }
 
 // WaitAll blocks until every event in evs has triggered.

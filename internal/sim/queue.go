@@ -4,12 +4,15 @@ package sim
 // capacity means unbounded. Put blocks while the queue is full (bounded
 // queues only); Get blocks while it is empty. Ordering among blocked
 // processes is FIFO, which keeps the simulation deterministic.
+//
+// Items and waiter lists live in ring buffers, so steady-state streaming
+// through a queue allocates nothing.
 type Queue[T any] struct {
 	env     *Env
 	cap     int // 0 = unbounded
-	items   []T
-	getters []*Event // waiting receivers, FIFO
-	putters []*Event // waiting senders, FIFO (bounded only)
+	items   Ring[T]
+	getters Ring[*Event] // waiting receivers, FIFO
+	putters Ring[*Event] // waiting senders, FIFO (bounded only)
 }
 
 // NewQueue creates a queue with the given capacity; capacity 0 means
@@ -22,21 +25,22 @@ func NewQueue[T any](env *Env, capacity int) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
 
 // Put appends v, blocking while a bounded queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap {
-		ev := q.env.NewEvent()
-		q.putters = append(q.putters, ev)
+	for q.cap > 0 && q.items.Len() >= q.cap {
+		ev := q.env.AcquireEvent()
+		q.putters.Push(ev)
 		p.Wait(ev)
+		q.env.ReleaseEvent(ev)
 	}
 	q.push(v)
 }
 
 // TryPut appends v without blocking and reports whether it fit.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.items.Len() >= q.cap {
 		return false
 	}
 	q.push(v)
@@ -44,27 +48,23 @@ func (q *Queue[T]) TryPut(v T) bool {
 }
 
 func (q *Queue[T]) push(v T) {
-	q.items = append(q.items, v)
-	if len(q.getters) > 0 {
-		ev := q.getters[0]
-		q.getters = q.getters[1:]
-		ev.Trigger(nil)
+	q.items.Push(v)
+	if q.getters.Len() > 0 {
+		q.getters.Pop().Trigger(nil)
 	}
 }
 
 // Get removes and returns the head item, blocking while the queue is empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		ev := q.env.NewEvent()
-		q.getters = append(q.getters, ev)
+	for q.items.Len() == 0 {
+		ev := q.env.AcquireEvent()
+		q.getters.Push(ev)
 		p.Wait(ev)
+		q.env.ReleaseEvent(ev)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		ev := q.putters[0]
-		q.putters = q.putters[1:]
-		ev.Trigger(nil)
+	v := q.items.Pop()
+	if q.putters.Len() > 0 {
+		q.putters.Pop().Trigger(nil)
 	}
 	return v
 }
@@ -72,15 +72,12 @@ func (q *Queue[T]) Get(p *Proc) T {
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		ev := q.putters[0]
-		q.putters = q.putters[1:]
-		ev.Trigger(nil)
+	v := q.items.Pop()
+	if q.putters.Len() > 0 {
+		q.putters.Pop().Trigger(nil)
 	}
 	return v, true
 }
@@ -91,7 +88,7 @@ type Resource struct {
 	env      *Env
 	capacity int
 	inUse    int
-	waiters  []*Event // FIFO
+	waiters  Ring[*Event] // FIFO
 }
 
 // NewResource creates a resource with the given number of slots.
@@ -105,9 +102,10 @@ func NewResource(env *Env, capacity int) *Resource {
 // Acquire blocks until a slot is free and claims it.
 func (r *Resource) Acquire(p *Proc) {
 	for r.inUse >= r.capacity {
-		ev := r.env.NewEvent()
-		r.waiters = append(r.waiters, ev)
+		ev := r.env.AcquireEvent()
+		r.waiters.Push(ev)
 		p.Wait(ev)
+		r.env.ReleaseEvent(ev)
 	}
 	r.inUse++
 }
@@ -118,10 +116,8 @@ func (r *Resource) Release() {
 		panic("sim: release of unacquired resource")
 	}
 	r.inUse--
-	if len(r.waiters) > 0 {
-		ev := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		ev.Trigger(nil)
+	if r.waiters.Len() > 0 {
+		r.waiters.Pop().Trigger(nil)
 	}
 }
 

@@ -13,7 +13,12 @@ const (
 )
 
 // segment is one TCP segment. Headers ride as struct fields; the simulated
-// wire length is length+HeaderBytes.
+// wire length is length+HeaderBytes. The same segment object travels from
+// the sending connection through both stacks' processing contexts to the
+// receiving connection (there is no wire serialization), and go-back-N can
+// put it in flight several times — so recycling is governed by a flight
+// reference count plus retransmission-queue membership, not by any single
+// owner.
 type segment struct {
 	srcAddr, dst     ib.LID
 	srcPort, dstPort int
@@ -22,6 +27,14 @@ type segment struct {
 	wnd              int    // advertised window (SYN/SYNACK and acks)
 	length           int    // payload bytes
 	spans            []span // payload runs (real or synthetic), in order
+
+	// refs counts in-progress flights: transmissions handed to a transmit
+	// context whose receive-side processing has not finished yet. A flight
+	// lost to fault injection never completes, leaving the segment to the
+	// garbage collector — safe, just unpooled.
+	refs int
+	// inUnacked marks membership in the sender's retransmission queue.
+	inUnacked bool
 }
 
 // span is a run of stream bytes, possibly synthetic.
@@ -42,17 +55,17 @@ type Conn struct {
 	sndUna, sndNxt int64
 	cwnd           int
 	swnd           int // peer's advertised window
-	sendQ          []span
+	sendQ          sim.Ring[span]
 	sendQBytes     int
-	unacked        []*segment // retransmission queue (go-back-N)
-	writeWaiters   []*sim.Event
+	unacked        sim.Ring[*segment] // retransmission queue (go-back-N)
+	writeWaiters   sim.Ring[*sim.Event]
 	rtoGen         int
 
 	// Receiver state.
 	rcvNxt      int64
-	recvBuf     []span
+	recvBuf     sim.Ring[span]
 	recvBytes   int
-	readWaiters []*sim.Event
+	readWaiters sim.Ring[*sim.Event]
 
 	// Counters.
 	delivered   int64 // in-order payload bytes accepted (receive side)
@@ -120,11 +133,12 @@ func (c *Conn) WriteSynthetic(p *sim.Proc, n int) {
 
 func (c *Conn) write(p *sim.Proc, sp span) {
 	for c.sendQBytes >= c.sendBufCap() {
-		ev := c.stack.env.NewEvent()
-		c.writeWaiters = append(c.writeWaiters, ev)
+		ev := c.stack.env.AcquireEvent()
+		c.writeWaiters.Push(ev)
 		p.Wait(ev)
+		c.stack.env.ReleaseEvent(ev)
 	}
-	c.sendQ = append(c.sendQ, sp)
+	c.sendQ.Push(sp)
 	c.sendQBytes += sp.length
 	c.pump()
 }
@@ -133,9 +147,10 @@ func (c *Conn) write(p *sim.Proc, sp span) {
 // them (synthetic spans materialize as zero bytes).
 func (c *Conn) Read(p *sim.Proc, max int) []byte {
 	for c.recvBytes == 0 {
-		ev := c.stack.env.NewEvent()
-		c.readWaiters = append(c.readWaiters, ev)
+		ev := c.stack.env.AcquireEvent()
+		c.readWaiters.Push(ev)
 		p.Wait(ev)
+		c.stack.env.ReleaseEvent(ev)
 	}
 	n := c.recvBytes
 	if n > max {
@@ -143,7 +158,7 @@ func (c *Conn) Read(p *sim.Proc, max int) []byte {
 	}
 	out := make([]byte, 0, n)
 	for len(out) < n {
-		sp := &c.recvBuf[0]
+		sp := c.recvBuf.Front()
 		take := n - len(out)
 		if take > sp.length {
 			take = sp.length
@@ -156,7 +171,7 @@ func (c *Conn) Read(p *sim.Proc, max int) []byte {
 		}
 		sp.length -= take
 		if sp.length == 0 {
-			c.recvBuf = c.recvBuf[1:]
+			c.recvBuf.Pop()
 		}
 	}
 	c.recvBytes -= n
@@ -194,16 +209,12 @@ func (c *Conn) pump() {
 			// wait for the window to open rather than fragment.
 			break
 		}
-		seg := &segment{
-			srcAddr: c.stack.Addr(), dst: c.remote,
-			srcPort: c.localPort, dstPort: c.remotePort,
-			flags: ackFlag, seq: c.sndNxt, ack: c.rcvNxt,
-			wnd: c.stack.cfg.Window, length: n,
-		}
+		seg := c.newSegment(ackFlag)
+		seg.length = n
 		// Pack n bytes from the head spans.
 		left := n
 		for left > 0 {
-			sp := &c.sendQ[0]
+			sp := c.sendQ.Front()
 			take := min(left, sp.length)
 			if sp.data != nil {
 				seg.spans = append(seg.spans, span{data: sp.data[:take], length: take})
@@ -214,34 +225,39 @@ func (c *Conn) pump() {
 			sp.length -= take
 			left -= take
 			if sp.length == 0 {
-				c.sendQ = c.sendQ[1:]
+				c.sendQ.Pop()
 			}
 		}
 		c.sendQBytes -= n
 		c.sndNxt += int64(n)
-		c.unacked = append(c.unacked, seg)
-		c.stack.txq.TryPut(seg)
-		if len(c.unacked) == 1 {
+		seg.inUnacked = true
+		c.unacked.Push(seg)
+		c.stack.transmit(seg)
+		if c.unacked.Len() == 1 {
 			c.armRTO()
 		}
 	}
 	// Wake writers if buffer space opened up.
-	for len(c.writeWaiters) > 0 && c.sendQBytes < c.sendBufCap() {
-		ev := c.writeWaiters[0]
-		c.writeWaiters = c.writeWaiters[1:]
-		ev.Trigger(nil)
+	for c.writeWaiters.Len() > 0 && c.sendQBytes < c.sendBufCap() {
+		c.writeWaiters.Pop().Trigger(nil)
 	}
+}
+
+// newSegment takes a segment from the stack's pool and stamps this
+// connection's headers on it.
+func (c *Conn) newSegment(flags int) *segment {
+	seg := c.stack.newSegment()
+	seg.srcAddr, seg.dst = c.stack.Addr(), c.remote
+	seg.srcPort, seg.dstPort = c.localPort, c.remotePort
+	seg.flags = flags
+	seg.seq, seg.ack = c.sndNxt, c.rcvNxt
+	seg.wnd = c.stack.cfg.Window
+	return seg
 }
 
 // sendCtl emits a control segment (SYN, SYN|ACK, pure ACK).
 func (c *Conn) sendCtl(flags int) {
-	seg := &segment{
-		srcAddr: c.stack.Addr(), dst: c.remote,
-		srcPort: c.localPort, dstPort: c.remotePort,
-		flags: flags, seq: c.sndNxt, ack: c.rcvNxt,
-		wnd: c.stack.cfg.Window,
-	}
-	c.stack.txq.TryPut(seg)
+	c.stack.transmit(c.newSegment(flags))
 }
 
 // handle processes an inbound segment (already charged receive CPU).
@@ -275,12 +291,14 @@ func (c *Conn) handleData(seg *segment) {
 	case seg.seq == c.rcvNxt:
 		c.rcvNxt += int64(seg.length)
 		c.delivered += int64(seg.length)
-		c.recvBuf = append(c.recvBuf, seg.spans...)
+		// Span values are copied out of the segment, so recycling the
+		// segment never touches buffered stream data.
+		for _, sp := range seg.spans {
+			c.recvBuf.Push(sp)
+		}
 		c.recvBytes += seg.length
-		for len(c.readWaiters) > 0 {
-			ev := c.readWaiters[0]
-			c.readWaiters = c.readWaiters[1:]
-			ev.Trigger(nil)
+		for c.readWaiters.Len() > 0 {
+			c.readWaiters.Pop().Trigger(nil)
 		}
 	case seg.seq < c.rcvNxt:
 		// Duplicate from a retransmission: ack again below.
@@ -296,8 +314,14 @@ func (c *Conn) handleAck(ackNum int64) {
 	}
 	acked := int(ackNum - c.sndUna)
 	c.sndUna = ackNum
-	for len(c.unacked) > 0 && c.unacked[0].seq+int64(c.unacked[0].length) <= ackNum {
-		c.unacked = c.unacked[1:]
+	for c.unacked.Len() > 0 {
+		head := *c.unacked.Front()
+		if head.seq+int64(head.length) > ackNum {
+			break
+		}
+		c.unacked.Pop()
+		head.inUnacked = false
+		c.stack.maybeFreeSegment(head)
 	}
 	// Slow start toward the window ceiling (the fabric is lossless, so no
 	// congestion events occur and cwnd rises monotonically).
@@ -308,7 +332,7 @@ func (c *Conn) handleAck(ackNum int64) {
 		}
 	}
 	c.rtoGen++
-	if len(c.unacked) > 0 {
+	if c.unacked.Len() > 0 {
 		c.armRTO()
 	}
 	c.pump()
@@ -322,14 +346,14 @@ const rto = 50 * sim.Millisecond
 func (c *Conn) armRTO() {
 	gen := c.rtoGen
 	c.stack.env.At(rto, func() {
-		if gen != c.rtoGen || len(c.unacked) == 0 {
+		if gen != c.rtoGen || c.unacked.Len() == 0 {
 			return
 		}
 		// Go-back-N: resend everything outstanding.
 		c.retransmits++
 		c.rtoGen++
-		for _, seg := range c.unacked {
-			c.stack.txq.TryPut(seg)
+		for i := 0; i < c.unacked.Len(); i++ {
+			c.stack.transmit(*c.unacked.At(i))
 		}
 		c.armRTO()
 	})

@@ -75,6 +75,54 @@ type Stack struct {
 	txq       *sim.Queue[*segment]
 	rxq       *sim.Queue[*segment]
 	stats     StackStats
+	// segFree recycles segment objects. Like the fabric's packet pool it
+	// is a plain slice touched only from the stack's environment, so reuse
+	// is deterministic. A segment may be created on one stack and freed on
+	// the peer's (control segments are consumed at the receiver); each
+	// stack simply pools whatever it frees.
+	segFree []*segment
+}
+
+// newSegment returns a zeroed segment (its spans backing array is kept).
+func (s *Stack) newSegment() *segment {
+	if n := len(s.segFree); n > 0 {
+		seg := s.segFree[n-1]
+		s.segFree = s.segFree[:n-1]
+		return seg
+	}
+	return &segment{}
+}
+
+// transmit hands a segment to the transmit context, counting the flight.
+// The matching release happens after the peer's receive context processed
+// the segment (or never, if fault injection drops it — then the segment
+// falls back to the garbage collector).
+func (s *Stack) transmit(seg *segment) {
+	seg.refs++
+	s.txq.TryPut(seg)
+}
+
+// unrefSegment ends one flight of seg.
+func (s *Stack) unrefSegment(seg *segment) {
+	seg.refs--
+	if seg.refs < 0 {
+		panic("tcpsim: segment reference count underflow")
+	}
+	s.maybeFreeSegment(seg)
+}
+
+// maybeFreeSegment recycles seg once no flight is in progress and the
+// sender no longer holds it for retransmission.
+func (s *Stack) maybeFreeSegment(seg *segment) {
+	if seg.refs == 0 && !seg.inUnacked {
+		spans := seg.spans
+		for i := range spans {
+			spans[i] = span{}
+		}
+		*seg = segment{}
+		seg.spans = spans[:0]
+		s.segFree = append(s.segFree, seg)
+	}
 }
 
 // StackStats counts stack activity, for utilization analysis.
@@ -131,6 +179,7 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			s.stats.RxBusy += c
 			p.Sleep(c)
 			s.dispatch(seg)
+			s.unrefSegment(seg)
 		}
 	})
 	return s
