@@ -109,3 +109,31 @@ func BenchmarkKernelRCStream(b *testing.B) {
 	b.StopTimer()
 	reportKernelRate(b, env.Executed())
 }
+
+// BenchmarkKernelRCStreamTelemetryOff is the telemetry regression guard:
+// the same RC stream as BenchmarkKernelRCStream on an environment with no
+// telemetry attached (nil registry, nil recorder). Every instrumentation
+// site in the fabric sits behind a single nil check, so this must match
+// the uninstrumented baseline recorded in BENCH_kernel.json — the
+// disabled observability path adds zero allocations to the hot path.
+func BenchmarkKernelRCStreamTelemetryOff(b *testing.B) {
+	env, tb := pair(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	perftest.BandwidthRC(env, tb.A[0].HCA, tb.B[0].HCA, 64<<10, b.N, 0)
+	b.StopTimer()
+	reportKernelRate(b, env.Executed())
+}
+
+// TestKernelRCStreamTelemetryOffAllocs enforces the disabled-path
+// allocation budget as a plain test: the end-to-end RC stream must stay at
+// the seed's <= 2 allocs per 64 KB message with telemetry off.
+func TestKernelRCStreamTelemetryOffAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	r := testing.Benchmark(BenchmarkKernelRCStreamTelemetryOff)
+	if a := r.AllocsPerOp(); a > 2 {
+		t.Errorf("RC stream with telemetry disabled: %d allocs/op, want <= 2", a)
+	}
+}

@@ -22,6 +22,12 @@
 //	ibwan-exp -quick -bench BENCH_harness.json all  # par=1 vs par=N timing
 //	ibwan-exp -cpuprofile cpu.out -par 1 fig5       # profile the hot path
 //	ibwan-exp -memprofile mem.out all               # heap profile at exit
+//	ibwan-exp -quick -trace-out trace.json fig8     # Perfetto trace of the run
+//	ibwan-exp -quick -metrics-out metrics.txt fig8  # telemetry metrics dump
+//
+// Every output path (-json, -bench, -cpuprofile, -memprofile, -trace-out,
+// -metrics-out) is opened before any simulation runs, so an unwritable path
+// fails immediately instead of discarding results after minutes of work.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // flagSet reports whether the named flag was set explicitly.
@@ -62,6 +69,9 @@ func main() {
 	benchOut := flag.String("bench", "", "time each experiment at -par 1 vs -par N and write the comparison JSON to this file (suppresses tables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+	traceOut := flag.String("trace-out", "", "write a Perfetto (Chrome trace event) JSON trace of the run to this file ('-' = stdout, suppresses tables); forces -par 1")
+	metricsOut := flag.String("metrics-out", "", "write a telemetry metrics dump to this file ('-' = stdout, suppresses tables; a .json suffix selects JSON, otherwise text)")
+	spanDepth := flag.Int("span-depth", 0, "suppress trace spans nested deeper than this (0 = unlimited; applies to -trace-out)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
 			strings.Join(core.ExperimentIDs, " "))
@@ -102,24 +112,63 @@ func main() {
 		ropt.Progress = os.Stderr
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	// Open every output up front: a typo'd or unwritable path must fail the
+	// run before any simulation happens, not silently discard its results.
+	outs := map[string]*os.File{}
+	for _, o := range []struct{ flag, path string }{
+		{"cpuprofile", *cpuProfile},
+		{"memprofile", *memProfile},
+		{"json", *jsonOut},
+		{"bench", *benchOut},
+		{"trace-out", *traceOut},
+		{"metrics-out", *metricsOut},
+	} {
+		if o.path == "" {
+			continue
+		}
+		f, err := outFile(o.path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
+			fmt.Fprintf(os.Stderr, "ibwan-exp: -%s: %v\n", o.flag, err)
 			os.Exit(1)
 		}
+		outs[o.flag] = f
+	}
+
+	var tel *telemetry.Telemetry
+	if outs["trace-out"] != nil || outs["metrics-out"] != nil {
+		tel = &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+		if outs["trace-out"] != nil {
+			tel.Spans = telemetry.NewRecorder(0, *spanDepth)
+		}
+		ropt.Telemetry = tel
+	}
+
+	if f := outs["cpuprofile"]; f != nil {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "ibwan-exp: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	err := run(ids, opt, ropt, *benchOut, *jsonOut, *csv, *chart)
-	if *cpuProfile != "" {
+	// Rendered tables would corrupt any machine-readable stream sharing
+	// stdout, so '-' on any report flag suppresses them.
+	render := outs["json"] != os.Stdout && outs["trace-out"] != os.Stdout && outs["metrics-out"] != os.Stdout
+	err := run(ids, opt, ropt, outs["bench"], outs["json"], *csv, *chart, render)
+	if outs["cpuprofile"] != nil {
 		pprof.StopCPUProfile()
 	}
-	if *memProfile != "" {
-		if merr := writeMemProfile(*memProfile); merr != nil && err == nil {
+	if f := outs["memprofile"]; f != nil {
+		if merr := writeMemProfile(f); merr != nil && err == nil {
 			err = merr
+		}
+	}
+	if err == nil {
+		err = writeTelemetry(outs["trace-out"], outs["metrics-out"], *metricsOut, tel)
+	}
+	for _, f := range outs {
+		if f != os.Stdout {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	}
 	if err != nil {
@@ -128,15 +177,50 @@ func main() {
 	}
 }
 
+// outFile opens an output path for writing; "-" selects stdout.
+func outFile(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+// writeTelemetry emits the trace and metrics dumps after the run. The
+// metrics format follows the path: a .json suffix (or JSON-loving tools
+// reading files by extension) selects the stable JSON schema, anything else
+// the aligned text table.
+func writeTelemetry(trace, metrics *os.File, metricsPath string, tel *telemetry.Telemetry) error {
+	if tel == nil {
+		return nil
+	}
+	if trace != nil {
+		if err := telemetry.WritePerfetto(trace, tel.Spans); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	if metrics != nil {
+		var err error
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = telemetry.WriteMetricsJSON(metrics, tel.Metrics)
+		} else {
+			err = telemetry.WriteMetricsText(metrics, tel.Metrics)
+		}
+		if err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
+}
+
 // run executes the selected experiments and renders or serializes results.
 // Profiling bookkeeping stays in main: every exit path from here returns,
-// so the profiles are always flushed.
-func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, jsonOut string, csv, chart bool) error {
-	if benchOut != "" {
+// so the profiles are always flushed. Output files arrive as already-open
+// handles (nil = not requested).
+func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, jsonOut *os.File, csv, chart, render bool) error {
+	if benchOut != nil {
 		return runBench(benchOut, ids, opt, ropt)
 	}
 	var results []core.Result
-	render := jsonOut != "-"
 	for _, id := range ids {
 		res := core.RunWith(id, opt, ropt)
 		results = append(results, res)
@@ -155,19 +239,14 @@ func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, json
 			}
 		}
 	}
-	if jsonOut != "" {
+	if jsonOut != nil {
 		return writeJSONReport(jsonOut, opt, ropt, results)
 	}
 	return nil
 }
 
 // writeMemProfile records the live-heap allocation profile at exit.
-func writeMemProfile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func writeMemProfile(f *os.File) error {
 	runtime.GC() // settle the heap so the profile shows retained allocations
 	return pprof.WriteHeapProfile(f)
 }
@@ -218,7 +297,7 @@ func toJSONTables(tabs []*stats.Table) []jsonTable {
 	return out
 }
 
-func writeJSONReport(path string, opt core.Options, ropt core.RunnerOptions, results []core.Result) error {
+func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, results []core.Result) error {
 	rep := jsonReport{
 		Schema: "ibwan-exp/v1",
 		Quick:  opt.Quick,
@@ -237,7 +316,7 @@ func writeJSONReport(path string, opt core.Options, ropt core.RunnerOptions, res
 			Tables:     toJSONTables(res.Tables),
 		})
 	}
-	return writeJSON(path, rep)
+	return writeJSON(w, rep)
 }
 
 // Harness benchmark: per-figure wall time at par=1 vs par=N.
@@ -260,7 +339,7 @@ type benchReport struct {
 	Total   benchFigure   `json:"total"`
 }
 
-func runBench(path string, ids []string, opt core.Options, ropt core.RunnerOptions) error {
+func runBench(w io.Writer, ids []string, opt core.Options, ropt core.RunnerOptions) error {
 	parN := ropt.Workers
 	if parN <= 0 {
 		parN = runtime.GOMAXPROCS(0)
@@ -292,23 +371,14 @@ func runBench(path string, ids []string, opt core.Options, ropt core.RunnerOptio
 	if rep.Total.ParNMS > 0 {
 		rep.Total.SpeedupX = round2(rep.Total.Par1MS / rep.Total.ParNMS)
 	}
-	return writeJSON(path, rep)
+	return writeJSON(w, rep)
 }
 
 func round2(x float64) float64 {
 	return float64(int64(x*100+0.5)) / 100
 }
 
-func writeJSON(path string, v any) error {
-	var w io.Writer = os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
+func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Spec declares one experiment: a stable identifier plus a builder that
@@ -54,12 +55,18 @@ func (pl *Plan) point(s *stats.Series, x float64, label string, fn func(m *Meter
 // leftover processes once the point completes.
 type Meter struct {
 	envs []*sim.Env
+	// tel, when non-nil, is attached to every environment the point
+	// creates, so layer instrumentation lights up.
+	tel *telemetry.Telemetry
 }
 
 // NewEnv creates a simulation environment owned by this point.
 func (m *Meter) NewEnv() *sim.Env {
 	env := sim.NewEnv()
 	if m != nil {
+		if m.tel != nil {
+			telemetry.Attach(env, m.tel)
+		}
 		m.envs = append(m.envs, env)
 	}
 	return env

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // RunnerOptions configures the parallel experiment runner.
@@ -25,6 +26,14 @@ type RunnerOptions struct {
 	// OnPoint, when non-nil, is called after each point completes, in
 	// completion order (not registry order). Calls are serialized.
 	OnPoint func(PointMetrics)
+	// Telemetry, when non-nil, is attached to every simulation environment
+	// the experiment creates. Metric registries are safe under concurrent
+	// points, but a span Recorder is single-writer, so span recording
+	// forces Workers to 1. Each point's spans are stacked onto one shared
+	// timeline: after a point finishes, the recorder's epoch advances past
+	// the point's virtual end time and a harness-level span covering the
+	// whole point is emitted.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o RunnerOptions) workers(points int) int {
@@ -86,6 +95,9 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 	pl := spec.Build(opt)
 	start := time.Now()
 	workers := ropt.workers(len(pl.Points))
+	if ropt.Telemetry != nil && ropt.Telemetry.Spans != nil {
+		workers = 1 // the span recorder is single-writer
+	}
 	agg := ExperimentMetrics{ID: spec.ID, Points: len(pl.Points), Workers: workers}
 
 	var (
@@ -100,11 +112,20 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 			defer wg.Done()
 			for i := range idx {
 				pt := &pl.Points[i]
-				m := &Meter{}
+				m := &Meter{tel: ropt.Telemetry}
 				t0 := time.Now()
 				y := pt.Fn(m)
 				pt.commit(y)
 				m.close()
+				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
+					// Harness span covering the point, then advance the
+					// epoch so the next point stacks after it.
+					rec := tel.Spans
+					st := m.SimTime()
+					rec.RecordAt(0, st, rec.Track("harness", "points"),
+						spec.ID+" "+pt.Label, telemetry.NoSpan)
+					rec.Advance(st + sim.Millisecond)
+				}
 				pm := PointMetrics{
 					Experiment: spec.ID,
 					Label:      pt.Label,

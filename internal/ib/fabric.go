@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Device is anything attached to the fabric: an HCA end node or a switch.
@@ -34,6 +35,10 @@ type Fabric struct {
 	nextMRID int
 	routed   bool
 	tracer   Tracer
+	// obs is non-nil only when a telemetry session is attached to the
+	// environment; every instrumented hot-path site is gated on this one
+	// pointer, keeping the disabled path allocation-free.
+	obs *fabObs
 
 	// Freelists for wire packets and transfer contexts. They are plain
 	// slices, not sync.Pools: a fabric belongs to exactly one simulation
@@ -112,8 +117,14 @@ func (f *Fabric) maybeFree(t *transfer) {
 }
 
 // NewFabric creates an empty fabric on the given simulation environment.
+// If the environment carries a telemetry attachment (telemetry.Attach), the
+// fabric arms its instrumentation; otherwise observation costs nothing.
 func NewFabric(env *sim.Env) *Fabric {
-	return &Fabric{env: env, byLID: make(map[LID]Device), nextLID: 1, nextQPN: 1}
+	f := &Fabric{env: env, byLID: make(map[LID]Device), nextLID: 1, nextQPN: 1}
+	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
+		f.obs = newFabObs(tel)
+	}
+	return f
 }
 
 // Env returns the simulation environment of the fabric.
@@ -223,7 +234,15 @@ type Link struct {
 	DropFn func(wireBytes int) bool
 	// drops counts packets removed by DropFn.
 	drops int64
+	// wan marks the link as the long-haul WAN hop (see MarkWAN); the
+	// telemetry layer records utilization and queue spans only there.
+	wan bool
 }
+
+// MarkWAN labels the link as the WAN hop for telemetry purposes: its ports
+// record utilization, queueing delay and wan.xmit spans when observation is
+// enabled. The wan package marks the Longbow long-haul link.
+func (l *Link) MarkWAN() { l.wan = true }
 
 // SetDelay changes the one-way propagation delay (the Obsidian Longbow
 // delay knob).
@@ -255,6 +274,7 @@ type Port struct {
 	link      *Link
 	peer      *Port
 	busyUntil sim.Time
+	busyTime  sim.Time // cumulative serialization time (telemetry only)
 	txBytes   int64
 	txPkts    int64
 	// deliverArg and sendArg are this port's packet handlers as long-lived
@@ -284,10 +304,31 @@ func (p *Port) send(pkt *packet) {
 	p.txBytes += int64(pkt.wire)
 	p.txPkts++
 	fab := p.dev.fabric()
+	if obs := fab.obs; obs != nil && p.link.wan {
+		p.busyTime += ser
+		obs.wanTxPkts.Add(1)
+		obs.wanTxBytes.Add(int64(pkt.wire))
+		obs.wanQueueWait.Observe(int64(start - now))
+		if depart > 0 {
+			util := int64(1000 * float64(p.busyTime) / float64(depart))
+			obs.wanUtil.Set(util)
+			obs.wanUtilHist.Observe(util)
+		}
+		if obs.rec != nil {
+			parent := telemetry.NoSpan
+			if pkt.msg != nil {
+				parent = pkt.msg.span
+			}
+			obs.rec.RecordAt(now, depart, obs.wanTrack(p), "wan.xmit", parent)
+		}
+	}
 	fab.trace("tx", p.dev, pkt)
 	if p.link.DropFn != nil && p.link.DropFn(pkt.wire) {
 		p.link.drops++
-		fab.trace("drop", p.dev, pkt)
+		if fab.obs != nil {
+			fab.obs.linkDrops.Add(1)
+		}
+		fab.traceReason("drop", p.dev, pkt, "fault")
 		fab.freePacket(pkt)
 		return
 	}

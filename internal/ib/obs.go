@@ -1,0 +1,117 @@
+package ib
+
+import (
+	"repro/internal/telemetry"
+)
+
+// fabObs caches the fabric's telemetry handles. It exists (non-nil) only
+// when a telemetry session is attached to the fabric's environment, so the
+// entire instrumented hot path is gated behind a single `f.obs != nil`
+// pointer check — the disabled path costs nothing and allocates nothing.
+// Metric handles may individually be nil (metrics disabled, spans enabled);
+// their record methods are nil-safe no-ops.
+type fabObs struct {
+	rec *telemetry.Recorder
+
+	wanTxBytes    *telemetry.Counter
+	wanTxPkts     *telemetry.Counter
+	wanQueueWait  *telemetry.Histogram // egress queueing ahead of serialization, ns
+	wanUtil       *telemetry.Gauge     // busy-time share of elapsed time, permille
+	wanUtilHist   *telemetry.Histogram // same reading, distribution over packets
+	rcWindow      *telemetry.Histogram // in-flight window occupancy at launch
+	rcSendQ       *telemetry.Histogram // send-queue depth behind the window
+	rcRetransmits *telemetry.Counter
+	udRecvDrops   *telemetry.Counter
+	linkDrops     *telemetry.Counter
+
+	// Track caches: devices and ports are few and long-lived, so per-event
+	// track resolution is a map hit.
+	verbsTracks map[*HCA]telemetry.TrackID
+	wireTracks  map[Device]telemetry.TrackID
+	wanTracks   map[*Port]telemetry.TrackID
+	// instNames interns "kind pkt" instant labels so the enabled wire path
+	// does not concatenate per event.
+	instNames map[[2]string]string
+}
+
+func newFabObs(tel *telemetry.Telemetry) *fabObs {
+	m := tel.Metrics
+	o := &fabObs{
+		rec:           tel.Spans,
+		wanTxBytes:    m.Counter("wan.link.tx.bytes"),
+		wanTxPkts:     m.Counter("wan.link.tx.pkts"),
+		wanQueueWait:  m.Histogram("wan.link.queue.wait.ns"),
+		wanUtil:       m.Gauge("wan.link.utilization.permille"),
+		wanUtilHist:   m.Histogram("wan.link.utilization.permille"),
+		rcWindow:      m.Histogram("ib.rc.window.occupancy"),
+		rcSendQ:       m.Histogram("ib.rc.sendq.depth"),
+		rcRetransmits: m.Counter("ib.rc.retransmits"),
+		udRecvDrops:   m.Counter("ib.ud.recv.drops"),
+		linkDrops:     m.Counter("ib.link.drops"),
+	}
+	if o.rec != nil {
+		o.verbsTracks = make(map[*HCA]telemetry.TrackID)
+		o.wireTracks = make(map[Device]telemetry.TrackID)
+		o.wanTracks = make(map[*Port]telemetry.TrackID)
+		o.instNames = make(map[[2]string]string)
+	}
+	return o
+}
+
+// verbsTrack is the per-HCA track carrying verbs operation spans.
+func (o *fabObs) verbsTrack(h *HCA) telemetry.TrackID {
+	id, ok := o.verbsTracks[h]
+	if !ok {
+		id = o.rec.Track(h.name, "verbs")
+		o.verbsTracks[h] = id
+	}
+	return id
+}
+
+// wireTrack is the per-device track carrying wire-level instant events.
+func (o *fabObs) wireTrack(dev Device) telemetry.TrackID {
+	id, ok := o.wireTracks[dev]
+	if !ok {
+		id = o.rec.Track(dev.Name(), "wire")
+		o.wireTracks[dev] = id
+	}
+	return id
+}
+
+// wanTrack is the per-WAN-port track carrying wan.xmit queue spans.
+func (o *fabObs) wanTrack(p *Port) telemetry.TrackID {
+	id, ok := o.wanTracks[p]
+	if !ok {
+		id = o.rec.Track(p.dev.Name(), "wan-queue")
+		o.wanTracks[p] = id
+	}
+	return id
+}
+
+// instant folds one wire trace event into the span recorder's instant
+// stream, so a Perfetto trace shows packet activity alongside the spans.
+func (o *fabObs) instant(dev Device, ev TraceEvent) {
+	key := [2]string{ev.Kind, ev.Pkt}
+	name, ok := o.instNames[key]
+	if !ok {
+		name = ev.Kind + " " + ev.Pkt
+		o.instNames[key] = name
+	}
+	o.rec.AddInstant(telemetry.Instant{
+		Time: ev.Time, Track: o.wireTrack(dev), Name: name,
+		Msg: ev.Msg, Wire: ev.Wire, Reason: ev.Reason,
+	})
+}
+
+// verbsSpanName labels the verbs-layer span for an RC operation.
+func verbsSpanName(op Opcode) string {
+	switch op {
+	case OpSend:
+		return "verbs.send"
+	case OpRDMAWrite:
+		return "verbs.write"
+	case OpRDMARead:
+		return "verbs.read"
+	}
+	return "verbs.op"
+}

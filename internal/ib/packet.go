@@ -1,5 +1,7 @@
 package ib
 
+import "repro/internal/telemetry"
+
 type pktKind int
 
 const (
@@ -22,6 +24,8 @@ type packet struct {
 	msg          *transfer
 	seq          int // packet index within the transfer
 	last         bool
+	ud           bool // UD datagram (reported as pkt "ud" in traces)
+	retx         bool // put on the wire by a retransmission
 }
 
 // transfer is the sender-side context of one message / RDMA operation in
@@ -60,4 +64,10 @@ type transfer struct {
 	refs       int
 	senderDone bool
 	recvDone   bool
+
+	// span is the verbs-layer telemetry span covering the operation from
+	// post to completion (null when observation is off). WAN queue spans
+	// parent under it, and upper layers parent it under their protocol
+	// spans via SendWR.ParentSpan.
+	span telemetry.SpanRef
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Transport selects the QP service type.
@@ -76,6 +77,10 @@ type SendWR struct {
 	// RDMA-write-with-immediate or the memory-polling used by
 	// ib_write_lat-style benchmarks.
 	NotifyRemote bool
+	// ParentSpan nests the operation's verbs-layer telemetry span under an
+	// upper-layer protocol span (MPI phase, NFS RPC). The zero value is a
+	// root span; the field is ignored when observation is off.
+	ParentSpan telemetry.SpanRef
 }
 
 func (wr *SendWR) payloadLen() int {

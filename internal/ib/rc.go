@@ -1,6 +1,10 @@
 package ib
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // rcPostSend queues a work request on an RC QP and starts transmission if
 // the window allows.
@@ -35,6 +39,12 @@ func (q *QP) rcPostSend(wr SendWR) {
 	t.size = size
 	t.origin = q
 	t.qpSeq = -1
+	if obs := q.hca.fab.obs; obs != nil {
+		if obs.rec != nil {
+			t.span = obs.rec.StartAt(q.env().Now(), obs.verbsTrack(q.hca), verbsSpanName(wr.Op), wr.ParentSpan)
+		}
+		obs.rcSendQ.Observe(int64(q.sendQ.Len()))
+	}
 	if wr.Op != OpRDMARead {
 		// Sends and RDMA writes deliver at the responder in posted order.
 		// Read requests are served out of the sequence stream (their
@@ -48,9 +58,13 @@ func (q *QP) rcPostSend(wr SendWR) {
 
 // kick launches queued transfers while the in-flight window has room.
 func (q *QP) kick() {
+	obs := q.hca.fab.obs
 	for len(q.inflight) < q.cfg.MaxInflight && q.sendQ.Len() > 0 {
 		t := q.sendQ.Pop()
 		q.inflight[t.id] = t
+		if obs != nil {
+			obs.rcWindow.Observe(int64(len(q.inflight)))
+		}
 		q.launch(t)
 	}
 }
@@ -74,6 +88,7 @@ func (q *QP) launchBody(t *transfer) {
 			src: q.hca.lid, dst: q.remote.hca.lid,
 			srcQP: q.qpn, dstQP: q.remote.qpn,
 			kind: pktReadReq, wire: ReadReqBytes, msg: t, last: true,
+			retx: t.retried > 0,
 		}
 		fab.ref(t)
 		port.send(pkt)
@@ -106,6 +121,7 @@ func (q *QP) sendDataPackets(port *Port, dst *QP, t *transfer, kind pktKind) {
 			srcQP: q.qpn, dstQP: dst.qpn,
 			kind: kind, wire: HeaderRC + chunk, payload: chunk,
 			msg: t, seq: i, last: i == n-1,
+			retx: t.retried > 0,
 		}
 		// Every caller holds its own reference on t for the duration of
 		// this loop, so a fault-injected drop inside port.send (which
@@ -129,6 +145,10 @@ func (q *QP) armRetry(t *transfer) {
 		}
 		t.retried++
 		q.stats.Retransmits++
+		if obs := q.hca.fab.obs; obs != nil {
+			obs.rcRetransmits.Add(1)
+		}
+		q.traceRTO(t)
 		q.launch(t)
 	})
 }
@@ -203,10 +223,19 @@ func (q *QP) rcData(pkt *packet, readResp bool) {
 func (q *QP) readDone(t *transfer) {
 	delete(q.inflight, t.id)
 	t.acked = true
+	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: OpRDMARead, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
 	t.senderDone = true
 	q.kick()
 	q.hca.fab.unref(t)
+}
+
+// endVerbsSpan closes the transfer's verbs-layer span at the current time.
+func (q *QP) endVerbsSpan(t *transfer) {
+	if obs := q.hca.fab.obs; obs != nil && obs.rec != nil {
+		obs.rec.EndAt(q.env().Now(), t.span)
+		t.span = telemetry.NoSpan
+	}
 }
 
 // deliverInOrder applies a completed inbound transfer's effects.
@@ -297,6 +326,7 @@ func (q *QP) rcAck(pkt *packet) {
 	}
 	t.acked = true
 	delete(q.inflight, t.id)
+	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
 	t.senderDone = true
 	q.kick()

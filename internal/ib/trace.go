@@ -10,15 +10,16 @@ import (
 
 // TraceEvent describes one wire-level event on the fabric. Events are
 // emitted at packet departure (tx), packet arrival at its destination
-// device (rx), and fault-injected drops.
+// device (rx), fault-injected or receiver-side drops, and RC retry-timeout
+// expiries (rto).
 type TraceEvent struct {
 	Time  sim.Time `json:"t"`
-	Kind  string   `json:"kind"` // tx, rx, drop
+	Kind  string   `json:"kind"` // tx, rx, drop, rto
 	Src   LID      `json:"src"`
 	Dst   LID      `json:"dst"`
 	SrcQP int      `json:"srcqp"`
 	DstQP int      `json:"dstqp"`
-	Pkt   string   `json:"pkt"` // data, ack, readreq, readresp
+	Pkt   string   `json:"pkt"` // data, ack, readreq, readresp, ud
 	Wire  int      `json:"wire"`
 	Seq   int      `json:"seq"`
 	// Msg is the fabric-unique transfer id the packet belongs to.
@@ -27,6 +28,12 @@ type TraceEvent struct {
 	// Dev is the device observing the event (tx: sending device; rx:
 	// receiving device).
 	Dev string `json:"dev"`
+	// Retx marks packets put on the wire by a retransmission.
+	Retx bool `json:"retx,omitempty"`
+	// Reason qualifies drop events ("fault": injected on the wire,
+	// "no-recv": UD datagram with no posted receive) and rto events
+	// ("timeout").
+	Reason string `json:"reason,omitempty"`
 }
 
 // Tracer consumes trace events; it must not mutate simulation state.
@@ -50,15 +57,63 @@ func (k pktKind) String() string {
 }
 
 func (f *Fabric) trace(kind string, dev Device, pkt *packet) {
-	if f.tracer == nil {
+	f.traceReason(kind, dev, pkt, "")
+}
+
+// traceReason emits a packet event with a qualifying reason (drops). Events
+// flow to the installed Tracer and, when span recording is enabled, into
+// the telemetry recorder's instant stream.
+func (f *Fabric) traceReason(kind string, dev Device, pkt *packet, reason string) {
+	folding := f.obs != nil && f.obs.rec != nil
+	if f.tracer == nil && !folding {
 		return
 	}
-	f.tracer(TraceEvent{
+	pk := pkt.kind.String()
+	if pkt.ud {
+		pk = "ud"
+	}
+	ev := TraceEvent{
 		Time: f.env.Now(), Kind: kind,
 		Src: pkt.src, Dst: pkt.dst, SrcQP: pkt.srcQP, DstQP: pkt.dstQP,
-		Pkt: pkt.kind.String(), Wire: pkt.wire, Seq: pkt.seq, Msg: pkt.msg.id, Last: pkt.last,
-		Dev: dev.Name(),
-	})
+		Pkt: pk, Wire: pkt.wire, Seq: pkt.seq, Msg: pkt.msg.id, Last: pkt.last,
+		Dev: dev.Name(), Retx: pkt.retx, Reason: reason,
+	}
+	if f.tracer != nil {
+		f.tracer(ev)
+	}
+	if folding {
+		f.obs.instant(dev, ev)
+	}
+}
+
+// pktName is the wire packet kind a retransmission of the op would resend.
+func (o Opcode) pktName() string {
+	if o == OpRDMARead {
+		return "readreq"
+	}
+	return "data"
+}
+
+// traceRTO emits a retry-timeout event. There is no packet at timer expiry,
+// so the event is synthesized from the QP's connection state.
+func (q *QP) traceRTO(t *transfer) {
+	f := q.hca.fab
+	folding := f.obs != nil && f.obs.rec != nil
+	if f.tracer == nil && !folding {
+		return
+	}
+	ev := TraceEvent{
+		Time: f.env.Now(), Kind: "rto",
+		Src: q.hca.lid, Dst: q.remote.hca.lid, SrcQP: q.qpn, DstQP: q.remote.qpn,
+		Pkt: t.wr.Op.pktName(), Wire: 0, Msg: t.id, Last: true,
+		Dev: q.hca.name, Reason: "timeout",
+	}
+	if f.tracer != nil {
+		f.tracer(ev)
+	}
+	if folding {
+		f.obs.instant(q.hca, ev)
+	}
 }
 
 // JSONLTracer returns a Tracer that writes one JSON object per line to w.

@@ -27,6 +27,9 @@ func (q *QP) udPostSend(wr SendWR) {
 	t.size = size
 	t.origin = q
 	t.udData = wr.Data
+	if obs := fab.obs; obs != nil && obs.rec != nil {
+		t.span = obs.rec.StartAt(q.env().Now(), obs.verbsTrack(q.hca), "verbs.ud.send", wr.ParentSpan)
+	}
 	fab.ref(t)
 	q.env().AtArg(SendOverhead, q.udSendArg, t)
 }
@@ -43,12 +46,13 @@ func (q *QP) udSend(t *transfer) {
 		src: q.hca.lid, dst: t.wr.DestLID,
 		srcQP: q.qpn, dstQP: t.wr.DestQPN,
 		kind: pktData, wire: HeaderUD + t.size, payload: t.size,
-		msg: t, last: true,
+		msg: t, last: true, ud: true,
 	}
 	fab.ref(t)
 	port.send(pkt)
 	q.stats.MsgsSent++
 	q.stats.BytesSent += int64(t.size)
+	q.endVerbsSpan(t) // UD completes at wire departure (open loop)
 	q.cq.post(Completion{Op: OpSend, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
 	t.senderDone = true
 	fab.unref(t)
@@ -59,6 +63,10 @@ func (q *QP) udReceive(pkt *packet) {
 	t := pkt.msg
 	if q.recvQ.Len() == 0 {
 		q.stats.RecvDrops++
+		if obs := q.hca.fab.obs; obs != nil {
+			obs.udRecvDrops.Add(1)
+		}
+		q.hca.fab.traceReason("drop", q.hca, pkt, "no-recv")
 		// Nothing on this end will ever touch the transfer again; the
 		// packet's reference (released by the caller) recycles it.
 		t.recvDone = true

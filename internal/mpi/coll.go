@@ -47,6 +47,7 @@ func (r *Rank) Bcast(p *sim.Proc, root int, data []byte, size int) []byte {
 		size = len(data)
 	}
 	r.collSeq++
+	defer endColl(r.beginColl("coll.bcast"))
 	n := len(r.world.ranks)
 	ids := make([]int, n)
 	for i := range ids {
@@ -261,6 +262,7 @@ func (r *Rank) HierBcast(p *sim.Proc, root int, data []byte, size int) []byte {
 		size = len(data)
 	}
 	r.collSeq++
+	defer endColl(r.beginColl("coll.hierbcast"))
 	tag := r.collTag(0)
 	wanTag := r.collTag(1)
 	// Partition ranks by cluster.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Tag matching wildcards.
@@ -85,6 +86,19 @@ type World struct {
 	ranks     []*Rank
 	profile   MessageProfile
 	winStates map[int]*winState
+	// obs is non-nil only when telemetry is attached to the environment.
+	obs *mpiObs
+}
+
+// mpiObs caches the library's telemetry handles: protocol-phase spans and
+// the rendezvous/eager counters and latency histograms the paper's §3.4
+// analysis needs.
+type mpiObs struct {
+	rec       *telemetry.Recorder
+	eagerMsgs *telemetry.Counter
+	rndvMsgs  *telemetry.Counter
+	msgBytes  *telemetry.Histogram
+	handshake *telemetry.Histogram // RTS -> CTS round trip, ns
 }
 
 // MessageProfile is the world's send-side message-size census — the
@@ -139,6 +153,16 @@ func (w *World) Profile() MessageProfile { return w.profile }
 func NewWorld(env *sim.Env, placement []*cluster.Node, cfg Config) *World {
 	cfg.fill()
 	w := &World{env: env, cfg: cfg, winStates: map[int]*winState{}}
+	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
+		m := tel.Metrics
+		w.obs = &mpiObs{
+			rec:       tel.Spans,
+			eagerMsgs: m.Counter("mpi.eager.msgs"),
+			rndvMsgs:  m.Counter("mpi.rndv.msgs"),
+			msgBytes:  m.Histogram("mpi.msg.bytes"),
+			handshake: m.Histogram("mpi.rndv.handshake.ns"),
+		}
+	}
 	for i, node := range placement {
 		r := &Rank{
 			world: w,
@@ -232,6 +256,47 @@ type Rank struct {
 	collSeq int
 	// winSeq numbers collective window creations (same lockstep rule).
 	winSeq int
+
+	// Telemetry: the rank's trace track (lazily created) and the span of
+	// the collective currently executing on this rank, which point-to-point
+	// sends parent under.
+	track    telemetry.TrackID
+	trackSet bool
+	collSpan telemetry.SpanRef
+}
+
+// obsTrack returns (lazily creating) the rank's trace track. Only called
+// when span recording is enabled.
+func (r *Rank) obsTrack() telemetry.TrackID {
+	if !r.trackSet {
+		r.track = r.world.obs.rec.Track(r.node.Name, fmt.Sprintf("mpi-rank-%d", r.id))
+		r.trackSet = true
+	}
+	return r.track
+}
+
+// beginColl opens a collective-phase span on the rank and installs it as
+// the parent for the collective's point-to-point traffic. It returns a
+// closer (nil when observation is off); use with endColl:
+//
+//	defer endColl(r.beginColl("coll.bcast"))
+func (r *Rank) beginColl(name string) func() {
+	obs := r.world.obs
+	if obs == nil || obs.rec == nil {
+		return nil
+	}
+	prev := r.collSpan
+	r.collSpan = obs.rec.StartAt(r.world.env.Now(), r.obsTrack(), name, prev)
+	return func() {
+		obs.rec.EndAt(r.world.env.Now(), r.collSpan)
+		r.collSpan = prev
+	}
+}
+
+func endColl(f func()) {
+	if f != nil {
+		f()
+	}
 }
 
 // ID returns the rank number.

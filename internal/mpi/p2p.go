@@ -29,6 +29,21 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 	r.world.profile.record(size)
 	peer := r.world.ranks[dst]
 	eager := size <= r.world.cfg.EagerThreshold
+	if obs := r.world.obs; obs != nil {
+		obs.msgBytes.Observe(int64(size))
+		if eager {
+			obs.eagerMsgs.Add(1)
+		} else {
+			obs.rndvMsgs.Add(1)
+		}
+		if obs.rec != nil {
+			name := "mpi.eager"
+			if !eager {
+				name = "mpi.rndv"
+			}
+			req.span = obs.rec.StartAt(r.world.env.Now(), r.obsTrack(), name, r.collSpan)
+		}
+	}
 	m := &mpiMsg{src: r.id, tag: tag, size: size}
 	if eager {
 		m.kind = eagerMsg
@@ -42,7 +57,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 		// Sender-side bounce-buffer copy, then a single verbs send.
 		p.Sleep(r.world.copyTime(size))
 		qp := r.qpTo(peer)
-		qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: size + CtrlBytes, Meta: m, Ctx: req})
+		qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: size + CtrlBytes, Meta: m, Ctx: req, ParentSpan: req.span})
 		return req
 	}
 	// Rendezvous.
@@ -50,7 +65,8 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 	m.kind = rtsMsg
 	m.sendReq = r.nextReq
 	r.rndv[m.sendReq] = req
-	r.ctrlSend(peer, m, nil)
+	req.rtsAt = r.world.env.Now()
+	r.ctrlSend(peer, m, nil, req.span)
 	return req
 }
 

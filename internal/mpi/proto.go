@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // msgKind identifies MPI wire messages.
@@ -47,6 +48,12 @@ type Request struct {
 	// Results (valid after completion).
 	recvSize int // actual bytes received
 	recvFrom int // actual source rank
+
+	// Telemetry: the protocol-phase span covering the operation and, for
+	// rendezvous sends, the virtual time the RTS went out (handshake
+	// latency = CTS arrival - rtsAt).
+	span  telemetry.SpanRef
+	rtsAt sim.Time
 }
 
 // Done reports whether the operation completed.
@@ -60,9 +67,15 @@ func (q *Request) Wait(p *sim.Proc) (int, int) {
 }
 
 func (q *Request) complete() {
-	if !q.done.Triggered() {
-		q.done.Trigger(nil)
+	if q.done.Triggered() {
+		return
 	}
+	if q.span.Valid() {
+		if obs := q.rank.world.obs; obs != nil && obs.rec != nil {
+			obs.rec.EndAt(q.rank.world.env.Now(), q.span)
+		}
+	}
+	q.done.Trigger(nil)
 }
 
 // inbound is a message that arrived before a matching receive was posted.
@@ -145,17 +158,20 @@ func (r *Rank) handleMsg(p *sim.Proc, m *mpiMsg) {
 		}
 		delete(r.rndv, m.sendReq)
 		req.rndvPeer = m.recvReq
+		if obs := r.world.obs; obs != nil {
+			obs.handshake.Observe(int64(r.world.env.Now() - req.rtsAt))
+		}
 		peer := r.world.ranks[req.peer]
 		qp := r.qpTo(peer)
 		qp.PostSend(ib.SendWR{
 			Op: ib.OpRDMAWrite, Data: req.data, Len: req.size,
-			RemoteMR: m.mr, Ctx: req,
+			RemoteMR: m.mr, Ctx: req, ParentSpan: req.span,
 		})
 		// Post the FIN immediately behind the write: the QP delivers in
 		// order, so the receiver sees it only after the data has landed —
 		// the standard RPUT design, which avoids paying an extra round
 		// trip per rendezvous on high-delay links.
-		r.ctrlSend(peer, &mpiMsg{kind: finMsg, src: r.id, recvReq: m.recvReq}, nil)
+		r.ctrlSend(peer, &mpiMsg{kind: finMsg, src: r.id, recvReq: m.recvReq}, nil, req.span)
 	case finMsg:
 		req := m.recvReq
 		req.complete()
@@ -218,11 +234,12 @@ func (r *Rank) sendCTS(req *Request, in *inbound) {
 	req.mr = mr
 	req.recvSize = in.size
 	req.recvFrom = in.src
-	r.ctrlSend(in.srcRank, &mpiMsg{kind: ctsMsg, src: r.id, sendReq: in.sendReq, recvReq: req, mr: mr}, nil)
+	r.ctrlSend(in.srcRank, &mpiMsg{kind: ctsMsg, src: r.id, sendReq: in.sendReq, recvReq: req, mr: mr}, nil, telemetry.NoSpan)
 }
 
-// ctrlSend emits a small control message (RTS/CTS/FIN) to the peer.
-func (r *Rank) ctrlSend(peer *Rank, m *mpiMsg, ctx *Request) {
+// ctrlSend emits a small control message (RTS/CTS/FIN) to the peer; its
+// verbs span (if any) nests under parent.
+func (r *Rank) ctrlSend(peer *Rank, m *mpiMsg, ctx *Request, parent telemetry.SpanRef) {
 	if peer.node == r.node {
 		r.shmDeliver(peer, m, ctx)
 		return
@@ -232,7 +249,7 @@ func (r *Rank) ctrlSend(peer *Rank, m *mpiMsg, ctx *Request) {
 	if ctx != nil {
 		c = ctx
 	}
-	qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: CtrlBytes, Meta: m, Ctx: c})
+	qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: CtrlBytes, Meta: m, Ctx: c, ParentSpan: parent})
 }
 
 // shmDeliver carries a message between co-located ranks over the node's
@@ -270,6 +287,9 @@ func (r *Rank) handleShmMsg(m *mpiMsg) {
 		// Shared-memory rendezvous: the "RDMA write" is a local copy.
 		req := r.rndv[m.sendReq]
 		delete(r.rndv, m.sendReq)
+		if obs := r.world.obs; obs != nil {
+			obs.handshake.Observe(int64(r.world.env.Now() - req.rtsAt))
+		}
 		env := r.world.env
 		d := sim.Time(float64(req.size) * ShmPerByteNanos)
 		recvReq := m.recvReq

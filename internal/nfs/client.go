@@ -4,18 +4,73 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"repro/internal/cluster"
 	"repro/internal/rpc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Client is an NFS client bound to an RPC transport (a mount). Multiple
 // simulation processes (IOzone threads) may issue operations concurrently.
 type Client struct {
-	t rpc.Client
+	t   rpc.Client
+	obs *clientObs // non-nil only when telemetry is attached
+}
+
+// clientObs caches the mount's telemetry handles: one span track per client
+// node plus the RPC call counter and latency histogram.
+type clientObs struct {
+	env   *sim.Env
+	rec   *telemetry.Recorder
+	track telemetry.TrackID
+	calls *telemetry.Counter
+	lat   *telemetry.Histogram
 }
 
 // NewClient wraps a connected RPC transport as an NFS mount.
 func NewClient(t rpc.Client) *Client { return &Client{t: t} }
+
+// NewClientOn is NewClient plus observability: when telemetry is attached
+// to the node's environment, RPCs are recorded as "nfs.<op>" spans on the
+// client node's track and into the call latency histogram.
+func NewClientOn(node *cluster.Node, t rpc.Client) *Client {
+	c := &Client{t: t}
+	env := node.HCA.Env()
+	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
+		c.obs = &clientObs{
+			env:   env,
+			rec:   tel.Spans,
+			calls: tel.Metrics.Counter("nfs.rpc.calls"),
+			lat:   tel.Metrics.Histogram("nfs.rpc.latency.ns"),
+		}
+		if tel.Spans != nil {
+			c.obs.track = tel.Spans.Track(node.Name, "nfs")
+		}
+	}
+	return c
+}
+
+// call runs one RPC through the transport, spanning and timing it when
+// observation is on.
+func (c *Client) call(p *sim.Proc, name string, req *rpc.Request) (*rpc.Reply, int) {
+	obs := c.obs
+	if obs == nil {
+		return c.t.Call(p, req)
+	}
+	start := obs.env.Now()
+	var ref telemetry.SpanRef
+	if obs.rec != nil {
+		ref = obs.rec.StartAt(start, obs.track, name, telemetry.NoSpan)
+	}
+	reply, n := c.t.Call(p, req)
+	now := obs.env.Now()
+	obs.calls.Add(1)
+	obs.lat.Observe(int64(now - start))
+	if obs.rec != nil {
+		obs.rec.EndAt(now, ref)
+	}
+	return reply, n
+}
 
 // Errors returned by client operations.
 var (
@@ -39,14 +94,14 @@ func statusErr(st uint32) error {
 
 // Null performs a no-op RPC (useful for RTT probing).
 func (c *Client) Null(p *sim.Proc) error {
-	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcNull, Meta: statusMeta(0)[:0]})
+	reply, _ := c.call(p, "nfs.null", &rpc.Request{Proc: ProcNull, Meta: statusMeta(0)[:0]})
 	_ = reply
 	return nil
 }
 
 // Lookup resolves a name to a file handle and size.
 func (c *Client) Lookup(p *sim.Proc, name string) (uint64, int64, error) {
-	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcLookup, Meta: []byte(name)})
+	reply, _ := c.call(p, "nfs.lookup", &rpc.Request{Proc: ProcLookup, Meta: []byte(name)})
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, 0, err
@@ -60,7 +115,7 @@ func (c *Client) Lookup(p *sim.Proc, name string) (uint64, int64, error) {
 func (c *Client) Getattr(p *sim.Proc, fh uint64) (int64, error) {
 	meta := make([]byte, 8)
 	binary.LittleEndian.PutUint64(meta, fh)
-	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcGetattr, Meta: meta})
+	reply, _ := c.call(p, "nfs.getattr", &rpc.Request{Proc: ProcGetattr, Meta: meta})
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -74,7 +129,7 @@ func (c *Client) Create(p *sim.Proc, name string, size int64) (uint64, error) {
 	meta := make([]byte, 8+len(name))
 	binary.LittleEndian.PutUint64(meta, uint64(size))
 	copy(meta[8:], name)
-	reply, _ := c.t.Call(p, &rpc.Request{Proc: ProcCreate, Meta: meta})
+	reply, _ := c.call(p, "nfs.create", &rpc.Request{Proc: ProcCreate, Meta: meta})
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -99,7 +154,7 @@ func (c *Client) Read(p *sim.Proc, fh uint64, off int64, count int, buf []byte) 
 	} else {
 		req.ReadLen = count
 	}
-	reply, n := c.t.Call(p, req)
+	reply, n := c.call(p, "nfs.read", req)
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -118,7 +173,7 @@ func (c *Client) Write(p *sim.Proc, fh uint64, off int64, data []byte, n int) (i
 	} else {
 		req.WriteLen = n
 	}
-	reply, _ := c.t.Call(p, req)
+	reply, _ := c.call(p, "nfs.write", req)
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err

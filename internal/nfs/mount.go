@@ -16,7 +16,7 @@ const nfsPort = 2049
 func MountRDMA(serverNode, clientNode *cluster.Node) (*Server, *Client) {
 	srv := NewServer(serverNode, RDMATouchNanos)
 	rsrv := rpc.ServeRDMA(serverNode, DefaultThreads, srv.Handler())
-	cl := NewClient(rpc.NewRDMAClient(clientNode, rsrv))
+	cl := NewClientOn(clientNode, rpc.NewRDMAClient(clientNode, rsrv))
 	return srv, cl
 }
 
@@ -33,7 +33,7 @@ func MountTCP(env *sim.Env, serverNode, clientNode *cluster.Node, mode ipoib.Mod
 	rpc.ServeTCP(sstack, nfsPort, DefaultThreads, srv.Handler())
 	var cl *Client
 	env.Go("nfs-mount", func(p *sim.Proc) {
-		cl = NewClient(rpc.NewTCPClient(p, cstack, sstack.Addr(), nfsPort))
+		cl = NewClientOn(clientNode, rpc.NewTCPClient(p, cstack, sstack.Addr(), nfsPort))
 		env.Stop()
 	})
 	env.Run()

@@ -94,7 +94,7 @@ func (fs *FileSystem) Mount(clientNode *cluster.Node) *Client {
 	c := &Client{fs: fs}
 	for _, srv := range fs.servers {
 		rs := rpc.ServeRDMA(srv.Node(), nfs.DefaultThreads, srv.Handler())
-		c.clients = append(c.clients, nfs.NewClient(rpc.NewRDMAClient(clientNode, rs)))
+		c.clients = append(c.clients, nfs.NewClientOn(clientNode, rpc.NewRDMAClient(clientNode, rs)))
 	}
 	return c
 }

@@ -20,6 +20,7 @@ type Env struct {
 	fatal    string             // set when a process panics; re-raised by handoff
 	executed int64              // heap entries dispatched so far
 	evFree   []*Event           // recycled Events (see AcquireEvent)
+	tel      any                // opaque telemetry attachment (see SetTelemetry)
 }
 
 // NewEnv creates an empty simulation environment with the clock at zero.
@@ -32,6 +33,16 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// SetTelemetry attaches an opaque observability handle to the environment.
+// The kernel never inspects it; layers built on the environment retrieve it
+// with Telemetry and type-assert. Keeping the slot untyped avoids an import
+// cycle (the telemetry package needs sim.Time) while giving every layer a
+// single well-known place to find the session's recorder.
+func (e *Env) SetTelemetry(t any) { e.tel = t }
+
+// Telemetry returns the attachment installed by SetTelemetry (nil if none).
+func (e *Env) Telemetry() any { return e.tel }
 
 // push enqueues ent at absolute time ent.at (>= e.now), stamping the FIFO
 // tie-breaker sequence.

@@ -351,6 +351,7 @@ func (c *Conn) armRTO() {
 		}
 		// Go-back-N: resend everything outstanding.
 		c.retransmits++
+		c.stack.obs.retransmits.Add(1)
 		c.rtoGen++
 		for i := 0; i < c.unacked.Len(); i++ {
 			c.stack.transmit(*c.unacked.At(i))

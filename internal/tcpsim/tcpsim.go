@@ -23,6 +23,7 @@ import (
 	"repro/internal/ib"
 	"repro/internal/ipoib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Protocol constants.
@@ -81,6 +82,17 @@ type Stack struct {
 	// the peer's (control segments are consumed at the receiver); each
 	// stack simply pools whatever it frees.
 	segFree []*segment
+	// obs holds possibly-nil telemetry handles; record methods on nil
+	// handles are no-ops, so the disabled path costs a nil check per site.
+	obs stackObs
+}
+
+// stackObs caches the stack's telemetry metric handles.
+type stackObs struct {
+	txSegs, rxSegs    *telemetry.Counter
+	txBytes, rxBytes  *telemetry.Counter
+	retransmits       *telemetry.Counter
+	segProcNS         *telemetry.Histogram // per-segment stack processing cost
 }
 
 // newSegment returns a zeroed segment (its spans backing array is kept).
@@ -148,6 +160,17 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 		txq:       sim.NewQueue[*segment](dev.Env(), 0),
 		rxq:       sim.NewQueue[*segment](dev.Env(), 0),
 	}
+	if tel := telemetry.FromEnv(s.env); tel != nil && tel.Metrics != nil {
+		m := tel.Metrics
+		s.obs = stackObs{
+			txSegs:      m.Counter("tcp.tx.segments"),
+			rxSegs:      m.Counter("tcp.rx.segments"),
+			txBytes:     m.Counter("tcp.tx.bytes"),
+			rxBytes:     m.Counter("tcp.rx.bytes"),
+			retransmits: m.Counter("tcp.retransmits"),
+			segProcNS:   m.Histogram("tcp.segment.proc.ns"),
+		}
+	}
 	dev.SetHandler(func(src ib.LID, payload any, length int) {
 		seg, ok := payload.(*segment)
 		if !ok {
@@ -164,6 +187,9 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			s.stats.TxSegments++
 			s.stats.TxBytes += int64(seg.length)
 			s.stats.TxBusy += c
+			s.obs.txSegs.Add(1)
+			s.obs.txBytes.Add(int64(seg.length))
+			s.obs.segProcNS.Observe(int64(c))
 			p.Sleep(c)
 			s.dev.Send(seg.dst, seg, seg.length+HeaderBytes)
 		}
@@ -177,6 +203,8 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			s.stats.RxSegments++
 			s.stats.RxBytes += int64(seg.length)
 			s.stats.RxBusy += c
+			s.obs.rxSegs.Add(1)
+			s.obs.rxBytes.Add(int64(seg.length))
 			p.Sleep(c)
 			s.dispatch(seg)
 			s.unrefSegment(seg)

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Metrics dump exporters: a human-readable text table and a stable JSON
+// schema. Both render the same Snapshot, sorted by metric name, so output
+// is deterministic for a deterministic run.
+
+// metricsReport is the JSON dump schema.
+type metricsReport struct {
+	Schema  string           `json:"schema"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// WriteMetricsJSON dumps the registry as JSON ("ibwan-metrics/v1").
+func WriteMetricsJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(metricsReport{Schema: "ibwan-metrics/v1", Metrics: r.Snapshot()})
+}
+
+// bound renders a bucket boundary, eliding the int64 sentinels.
+func bound(v int64) string {
+	switch v {
+	case math.MinInt64:
+		return "-inf"
+	case math.MaxInt64:
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// WriteMetricsText dumps the registry as aligned plain text. Histograms
+// list only populated buckets, one "[lo,hi):count" cell per bucket.
+func WriteMetricsText(w io.Writer, r *Registry) error {
+	snaps := r.Snapshot()
+	width := 0
+	for _, s := range snaps {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range snaps {
+		switch s.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%-9s %-*s %d\n", s.Kind, width, s.Name, s.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "%-9s %-*s count=%d sum=%d min=%d max=%d mean=%.1f",
+				s.Kind, width, s.Name, s.Count, s.Sum, s.Min, s.Max, s.Mean); err != nil {
+				return err
+			}
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "  [%s,%s):%d", bound(b.Lo), bound(b.Hi), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export, loadable in Perfetto (ui.perfetto.dev)
+// and chrome://tracing. Tracks map to (pid, tid) pairs named by metadata
+// events; spans become "X" complete events with id/parent/depth args so the
+// cross-track hierarchy survives the export; wire-level instants become "i"
+// thread-scoped instant events.
+
+type traceEventArgs struct {
+	Name   string  `json:"name,omitempty"`
+	ID     int64   `json:"id,omitempty"`
+	Parent int64   `json:"parent,omitempty"`
+	Depth  int32   `json:"depth,omitempty"`
+	Msg    int64   `json:"msg,omitempty"`
+	Wire   int     `json:"wire,omitempty"`
+	Reason string  `json:"reason,omitempty"`
+	SortIx float64 `json:"sort_index,omitempty"`
+}
+
+type traceEvent struct {
+	Name  string          `json:"name"`
+	Phase string          `json:"ph"`
+	TS    float64         `json:"ts"`            // microseconds
+	Dur   float64         `json:"dur,omitempty"` // microseconds
+	PID   int             `json:"pid"`
+	TID   int             `json:"tid"`
+	Scope string          `json:"s,omitempty"` // instant scope
+	Args  *traceEventArgs `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// micros converts sim time (ns) to trace-event microseconds.
+func micros(ns int64) float64 { return float64(ns) / 1000.0 }
+
+// WritePerfetto serializes the recorder's spans and instants as Chrome
+// trace-event JSON. Output is deterministic: tracks are grouped into
+// processes in first-registration order, spans are sorted by (start, id)
+// and instants by (time, record order).
+func WritePerfetto(w io.Writer, r *Recorder) error {
+	tracks := r.Tracks()
+	// Assign one pid per distinct process name, in first-appearance order,
+	// and one tid per track within its process.
+	pidOf := make(map[string]int)
+	var procs []string
+	tidOf := make([]int, len(tracks))
+	trackPID := make([]int, len(tracks))
+	nextTID := make(map[string]int)
+	for i, tk := range tracks {
+		proc := tk[0]
+		pid, ok := pidOf[proc]
+		if !ok {
+			pid = len(procs) + 1
+			pidOf[proc] = pid
+			procs = append(procs, proc)
+		}
+		nextTID[proc]++
+		trackPID[i] = pid
+		tidOf[i] = nextTID[proc]
+	}
+
+	spans := r.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	instants := r.Instants()
+	sort.SliceStable(instants, func(i, j int) bool {
+		return instants[i].Time < instants[j].Time
+	})
+
+	events := make([]traceEvent, 0, 2*len(tracks)+len(spans)+len(instants))
+	for i, proc := range procs {
+		events = append(events, traceEvent{
+			Name: "process_name", Phase: "M", PID: i + 1,
+			Args: &traceEventArgs{Name: proc},
+		})
+	}
+	for i, tk := range tracks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Phase: "M", PID: trackPID[i], TID: tidOf[i],
+			Args: &traceEventArgs{Name: tk[1]},
+		})
+	}
+	for _, s := range spans {
+		tid, pid := 0, 0
+		if int(s.Track) < len(tracks) {
+			tid, pid = tidOf[s.Track], trackPID[s.Track]
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Phase: "X",
+			TS: micros(int64(s.Start)), Dur: micros(int64(s.End - s.Start)),
+			PID: pid, TID: tid,
+			Args: &traceEventArgs{ID: s.ID, Parent: s.Parent, Depth: s.Depth},
+		})
+	}
+	for _, in := range instants {
+		tid, pid := 0, 0
+		if int(in.Track) < len(tracks) {
+			tid, pid = tidOf[in.Track], trackPID[in.Track]
+		}
+		ev := traceEvent{
+			Name: in.Name, Phase: "i", TS: micros(int64(in.Time)),
+			PID: pid, TID: tid, Scope: "t",
+		}
+		if in.Msg != 0 || in.Wire != 0 || in.Reason != "" {
+			ev.Args = &traceEventArgs{Msg: in.Msg, Wire: in.Wire, Reason: in.Reason}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRecorder(0, 0)
+	tk := r.Track("node", "verbs")
+	root := r.StartAt(10, tk, "outer", NoSpan)
+	child := r.StartAt(20, tk, "inner", root)
+	if !root.Valid() || !child.Valid() {
+		t.Fatal("refs should be valid")
+	}
+	r.EndAt(30, child)
+	r.EndAt(40, root)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: inner first.
+	in, out := spans[0], spans[1]
+	if in.Name != "inner" || out.Name != "outer" {
+		t.Fatalf("order = %s,%s, want inner,outer", in.Name, out.Name)
+	}
+	if in.Parent != out.ID {
+		t.Errorf("inner.Parent = %d, want %d", in.Parent, out.ID)
+	}
+	if in.Depth != 2 || out.Depth != 1 {
+		t.Errorf("depths = %d,%d, want 2,1", in.Depth, out.Depth)
+	}
+	if in.Start != 20 || in.End != 30 || out.Start != 10 || out.End != 40 {
+		t.Errorf("times wrong: inner [%d,%d], outer [%d,%d]", in.Start, in.End, out.Start, out.End)
+	}
+}
+
+func TestSpanDepthLimit(t *testing.T) {
+	r := NewRecorder(0, 2)
+	tk := r.Track("n", "t")
+	a := r.StartAt(0, tk, "a", NoSpan)
+	b := r.StartAt(1, tk, "b", a)
+	c := r.StartAt(2, tk, "c", b) // depth 3: suppressed
+	if !b.Valid() {
+		t.Fatal("depth 2 should record")
+	}
+	if c.Valid() {
+		t.Fatal("depth 3 should be suppressed")
+	}
+	// A child of a suppressed span degrades to a root span, not a crash.
+	d := r.StartAt(3, tk, "d", c)
+	if !d.Valid() || d.depth != 1 {
+		t.Errorf("child of suppressed span: valid=%v depth=%d, want valid root", d.Valid(), d.depth)
+	}
+	r.EndAt(4, d)
+	r.EndAt(5, b)
+	r.EndAt(6, a)
+	if n := r.SpanCount(); n != 3 {
+		t.Errorf("span count = %d, want 3", n)
+	}
+}
+
+func TestSpanStaleRef(t *testing.T) {
+	r := NewRecorder(0, 0)
+	tk := r.Track("n", "t")
+	a := r.StartAt(0, tk, "a", NoSpan)
+	r.EndAt(1, a)
+	r.EndAt(2, a) // double end: ignored
+	if n := r.SpanCount(); n != 1 {
+		t.Fatalf("double EndAt recorded twice: %d spans", n)
+	}
+	// The slot is recycled; the stale ref must not close the new occupant.
+	b := r.StartAt(3, tk, "b", NoSpan)
+	r.EndAt(4, a)
+	if n := r.SpanCount(); n != 1 {
+		t.Fatalf("stale ref closed a live span: %d spans", n)
+	}
+	// Parenting under a stale ref still links to the (ended) span's id.
+	c := r.StartAt(5, tk, "c", a)
+	r.EndAt(6, c)
+	r.EndAt(7, b)
+	spans := r.Spans()
+	if spans[1].Name != "c" || spans[1].Parent != spans[0].ID {
+		t.Errorf("stale-parent span: name=%s parent=%d, want c parented on a(%d)",
+			spans[1].Name, spans[1].Parent, spans[0].ID)
+	}
+}
+
+func TestSpanEviction(t *testing.T) {
+	r := NewRecorder(4, 0)
+	tk := r.Track("n", "t")
+	for i := 0; i < 10; i++ {
+		r.RecordAt(sim.Time(i), sim.Time(i+1), tk, "s", NoSpan)
+	}
+	if n := r.SpanCount(); n != 4 {
+		t.Errorf("retained %d spans, want cap 4", n)
+	}
+	if d := r.Dropped(); d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+	spans := r.Spans()
+	if spans[0].Start != 6 {
+		t.Errorf("oldest retained span starts at %d, want 6 (oldest evicted first)", spans[0].Start)
+	}
+}
+
+func TestSpanEpochAdvance(t *testing.T) {
+	r := NewRecorder(0, 0)
+	tk := r.Track("harness", "points")
+	// Point 1: env-relative [0, 100].
+	a := r.StartAt(0, tk, "p1", NoSpan)
+	r.EndAt(100, a)
+	r.Advance(150)
+	// Point 2 also starts its env at t=0; it must stack after point 1.
+	b := r.StartAt(0, tk, "p2", NoSpan)
+	r.EndAt(50, b)
+	spans := r.Spans()
+	if spans[1].Start != 150 || spans[1].End != 200 {
+		t.Errorf("second epoch span = [%d,%d], want [150,200]", spans[1].Start, spans[1].End)
+	}
+	if r.Offset() != 150 {
+		t.Errorf("offset = %d, want 150", r.Offset())
+	}
+}
+
+func TestOpenSpansClosedAtExport(t *testing.T) {
+	r := NewRecorder(0, 0)
+	tk := r.Track("n", "t")
+	open := r.StartAt(5, tk, "open", NoSpan)
+	_ = open
+	r.RecordAt(10, 90, tk, "done", NoSpan)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (completed + still-open)", len(spans))
+	}
+	// The still-open span is appended after completed ones, closed at the
+	// latest observed time.
+	if spans[1].Name != "open" || spans[1].End != 90 {
+		t.Errorf("open span = %s [%d,%d], want open [5,90]", spans[1].Name, spans[1].Start, spans[1].End)
+	}
+}
+
+func TestInstants(t *testing.T) {
+	r := NewRecorder(2, 0)
+	tk := r.Track("dev", "wire")
+	r.AddInstant(Instant{Time: 1, Track: tk, Name: "tx data", Msg: 7, Wire: 2048})
+	r.Advance(100)
+	r.AddInstant(Instant{Time: 1, Track: tk, Name: "rx data", Msg: 7, Wire: 2048})
+	ins := r.Instants()
+	if len(ins) != 2 {
+		t.Fatalf("got %d instants, want 2", len(ins))
+	}
+	if ins[1].Time != 101 {
+		t.Errorf("epoch-shifted instant at %d, want 101", ins[1].Time)
+	}
+	// Capacity applies to instants too.
+	r.AddInstant(Instant{Time: 2, Track: tk, Name: "drop", Reason: "fault"})
+	if n := r.InstantCount(); n != 2 {
+		t.Errorf("instant count = %d, want cap 2", n)
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", r.Dropped())
+	}
+}
+
+func TestTracks(t *testing.T) {
+	r := NewRecorder(0, 0)
+	a := r.Track("node-a", "verbs")
+	b := r.Track("node-a", "wire")
+	if a == b {
+		t.Error("distinct tracks share an id")
+	}
+	if again := r.Track("node-a", "verbs"); again != a {
+		t.Error("Track not idempotent")
+	}
+	tks := r.Tracks()
+	if len(tks) != 2 || tks[a] != [2]string{"node-a", "verbs"} {
+		t.Errorf("tracks = %v", tks)
+	}
+}

@@ -65,6 +65,8 @@ func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
 	a := &Longbow{name: name + "-A", sw: f.AddSwitch(name+"-A", ForwardingDelay)}
 	b := &Longbow{name: name + "-B", sw: f.AddSwitch(name+"-B", ForwardingDelay)}
 	link := f.Connect(a.sw, b.sw, WANRate, delay)
+	// The long-haul hop is where utilization and queueing telemetry lives.
+	link.MarkWAN()
 	return &Pair{A: a, B: b, link: link}
 }
 
