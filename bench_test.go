@@ -76,7 +76,11 @@ func BenchmarkTable1_DelayDistance(b *testing.B) {
 	var last sim.Time
 	for i := 0; i < b.N; i++ {
 		for _, km := range []float64{10, 20, 200, 2000, 20000} {
-			last = wan.DelayForDistance(km)
+			d, err := wan.DelayForDistance(km)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = d
 		}
 	}
 	b.ReportMetric(last.Microseconds(), "delay20000km_us")
@@ -149,7 +153,10 @@ func tcpBW(bnch *testing.B, mode ipoib.Mode, streams int, delay sim.Time, window
 		ln := sb.Listen(port)
 		env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 		env.Go("cli", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), port)
+			c, err := sa.Dial(p, sb.Addr(), port)
+			if err != nil {
+				panic(err)
+			}
 			for {
 				c.WriteSynthetic(p, 2<<20)
 			}
@@ -326,7 +333,7 @@ func BenchmarkFig13_NFS(b *testing.B) {
 		case "rdma":
 			srv, cl = nfs.MountRDMA(tb.B[0], tb.A[0])
 		case "tcp-rc":
-			srv, cl = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+			srv, cl, _ = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
 		}
 		srv.AddSyntheticFile("f", 32<<20)
 		r := nfs.IOzone(env, cl, "f", nfs.IOzoneConfig{FileSize: 32 << 20, Threads: 8})

@@ -6,7 +6,9 @@
 //	ibwan-exp [flags] <experiment>...
 //	ibwan-exp all
 //
-// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13, plus the loss-* family (loss-goodput loss-latency loss-flap
+// loss-tcp) extending the paper to lossy WAN circuits (see FAULTS.md).
 //
 // Every experiment expands into independent measurement points (one
 // simulated testbed per point) that run on a bounded worker pool; -par
@@ -24,6 +26,8 @@
 //	ibwan-exp -memprofile mem.out all               # heap profile at exit
 //	ibwan-exp -quick -trace-out trace.json fig8     # Perfetto trace of the run
 //	ibwan-exp -quick -metrics-out metrics.txt fig8  # telemetry metrics dump
+//	ibwan-exp -quick -fault wan-loss=0.01 fig5      # chaos: 1% WAN packet loss
+//	ibwan-exp -quick -fault wan-down fig8           # chaos: WAN dead, ERR rows
 //
 // Every output path (-json, -bench, -cpuprofile, -memprofile, -trace-out,
 // -metrics-out) is opened before any simulation runs, so an unwritable path
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -72,6 +77,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto (Chrome trace event) JSON trace of the run to this file ('-' = stdout, suppresses tables); forces -par 1")
 	metricsOut := flag.String("metrics-out", "", "write a telemetry metrics dump to this file ('-' = stdout, suppresses tables; a .json suffix selects JSON, otherwise text)")
 	spanDepth := flag.Int("span-depth", 0, "suppress trace spans nested deeper than this (0 = unlimited; applies to -trace-out)")
+	faultSpec := flag.String("fault", "", "run-wide chaos plan, e.g. 'wan-loss=0.01,seed=7' or 'wan-down' or 'wan-flap=5ms:20ms' (failed points render as ERR)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
 			strings.Join(core.ExperimentIDs, " "))
@@ -110,6 +116,14 @@ func main() {
 	ropt := core.RunnerOptions{Workers: *par}
 	if *progress {
 		ropt.Progress = os.Stderr
+	}
+	if *faultSpec != "" {
+		plan, err := parseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibwan-exp: -fault: %v\n", err)
+			os.Exit(2)
+		}
+		ropt.Fault = plan
 	}
 
 	// Open every output up front: a typo'd or unwritable path must fail the
@@ -238,6 +252,7 @@ func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, json
 				t.Render(os.Stdout)
 			}
 		}
+		core.RenderErrors(os.Stdout, res.Errors)
 	}
 	if jsonOut != nil {
 		return writeJSONReport(jsonOut, opt, ropt, results)
@@ -253,10 +268,37 @@ func writeMemProfile(f *os.File) error {
 
 // JSON report types: a stable schema for benchmark-trajectory tracking.
 
+// jsonFloats marshals a measurement vector with NaN (a failed point's
+// error row) encoded as null — encoding/json rejects NaN outright, which
+// would turn one failed point into a lost report.
+type jsonFloats []float64
+
+func (v jsonFloats) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, y := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsNaN(y) {
+			b.WriteString("null")
+		} else {
+			fmt.Fprintf(&b, "%g", y)
+		}
+	}
+	b.WriteByte(']')
+	return []byte(b.String()), nil
+}
+
 type jsonSeries struct {
-	Label string    `json:"label"`
-	X     []float64 `json:"x"`
-	Y     []float64 `json:"y"`
+	Label string     `json:"label"`
+	X     jsonFloats `json:"x"`
+	Y     jsonFloats `json:"y"`
+}
+
+type jsonPointError struct {
+	Label string `json:"label"`
+	Err   string `json:"err"`
 }
 
 type jsonTable struct {
@@ -272,8 +314,9 @@ type jsonExperiment struct {
 	Workers    int         `json:"workers"`
 	WallMS     float64     `json:"wall_ms"`
 	SimSeconds float64     `json:"sim_s"`
-	Events     int64       `json:"events"`
-	Tables     []jsonTable `json:"tables"`
+	Events     int64            `json:"events"`
+	Tables     []jsonTable      `json:"tables"`
+	Errors     []jsonPointError `json:"errors,omitempty"`
 }
 
 type jsonReport struct {
@@ -306,6 +349,10 @@ func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, res
 	}
 	for _, res := range results {
 		rep.TotalWallMS += float64(res.Metrics.Wall.Microseconds()) / 1e3
+		var errs []jsonPointError
+		for _, e := range res.Errors {
+			errs = append(errs, jsonPointError{Label: e.Label, Err: e.Err})
+		}
 		rep.Experiments = append(rep.Experiments, jsonExperiment{
 			ID:         res.ID,
 			Points:     res.Metrics.Points,
@@ -314,6 +361,7 @@ func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, res
 			SimSeconds: res.Metrics.SimTime.Seconds(),
 			Events:     res.Metrics.Events,
 			Tables:     toJSONTables(res.Tables),
+			Errors:     errs,
 		})
 	}
 	return writeJSON(w, rep)

@@ -59,9 +59,14 @@ func main() {
 		ln := sb.Listen(port)
 		env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 		env.Go("cli", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), port)
+			c, err := sa.Dial(p, sb.Addr(), port)
+			if err != nil {
+				panic(err)
+			}
 			for {
-				c.WriteSynthetic(p, 2<<20)
+				if err := c.WriteSynthetic(p, 2<<20); err != nil {
+					panic(err)
+				}
 			}
 		})
 	}

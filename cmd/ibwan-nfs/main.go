@@ -46,16 +46,21 @@ func main() {
 
 	var srv *nfs.Server
 	var cl *nfs.Client
+	var mountErr error
 	switch *transport {
 	case "rdma":
 		srv, cl = nfs.MountRDMA(server, client)
 	case "tcp-rc":
-		srv, cl = nfs.MountTCP(env, server, client, ipoib.Connected)
+		srv, cl, mountErr = nfs.MountTCP(env, server, client, ipoib.Connected)
 	case "tcp-ud":
-		srv, cl = nfs.MountTCP(env, server, client, ipoib.Datagram)
+		srv, cl, mountErr = nfs.MountTCP(env, server, client, ipoib.Datagram)
 	default:
 		fmt.Fprintf(os.Stderr, "ibwan-nfs: unknown transport %q\n", *transport)
 		os.Exit(2)
+	}
+	if mountErr != nil {
+		fmt.Fprintf(os.Stderr, "ibwan-nfs: mount: %v\n", mountErr)
+		os.Exit(1)
 	}
 	srv.AddSyntheticFile("bench", int64(*fileMB)<<20)
 	bw := nfs.IOzone(env, cl, "bench", nfs.IOzoneConfig{

@@ -19,13 +19,17 @@ func run(transport string, delay sim.Time, threads int) float64 {
 	defer env.Shutdown()
 	var srv *nfs.Server
 	var cl *nfs.Client
+	var err error
 	switch transport {
 	case "RDMA":
 		srv, cl = nfs.MountRDMA(tb.B[0], tb.A[0])
 	case "IPoIB-RC":
-		srv, cl = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+		srv, cl, err = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
 	case "IPoIB-UD":
-		srv, cl = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+		srv, cl, err = nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+	}
+	if err != nil {
+		panic(err)
 	}
 	srv.AddSyntheticFile("data", 128<<20)
 	return nfs.IOzone(env, cl, "data", nfs.IOzoneConfig{

@@ -21,7 +21,7 @@ func main() {
 		// A fresh simulation per distance keeps runs independent.
 		env := sim.NewEnv()
 		tb := cluster.New(env, cluster.Config{NodesA: 2, NodesB: 2})
-		tb.WAN.SetDistanceKM(km)
+		must(tb.WAN.SetDistanceKM(km))
 
 		a := tb.A[0].HCA // one node in cluster A
 		b := tb.B[0].HCA // one node in cluster B
@@ -30,12 +30,12 @@ func main() {
 
 		env2 := sim.NewEnv()
 		tb2 := cluster.New(env2, cluster.Config{NodesA: 2, NodesB: 2})
-		tb2.WAN.SetDistanceKM(km)
+		must(tb2.WAN.SetDistanceKM(km))
 		bwSmall := perftest.BandwidthRC(env2, tb2.A[0].HCA, tb2.B[0].HCA, 64<<10, 256, 0)
 
 		env3 := sim.NewEnv()
 		tb3 := cluster.New(env3, cluster.Config{NodesA: 2, NodesB: 2})
-		tb3.WAN.SetDistanceKM(km)
+		must(tb3.WAN.SetDistanceKM(km))
 		bwLarge := perftest.BandwidthRC(env3, tb3.A[0].HCA, tb3.B[0].HCA, 4<<20, 16, 0)
 
 		fmt.Printf("distance %6.0f km (%v one-way):\n", km, tb.WAN.Delay())
@@ -48,4 +48,10 @@ func main() {
 	fmt.Println("messages hold the wire rate: RC's bounded in-flight window")
 	fmt.Println("cannot cover the WAN bandwidth-delay product with small")
 	fmt.Println("messages (paper Fig. 5).")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

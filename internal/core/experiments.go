@@ -97,7 +97,9 @@ func table1(Options) *Plan {
 	for _, km := range []float64{10, 20, 200, 2000, 20000} {
 		km := km
 		pl.point(s, km, fmt.Sprintf("table1/%gkm", km), func(m *Meter) float64 {
-			return wan.DelayForDistance(km).Microseconds()
+			d, err := wan.DelayForDistance(km)
+			m.Check(err)
+			return d.Microseconds()
 		})
 	}
 	return pl
@@ -231,21 +233,39 @@ func tcpPoint(m *Meter, mode ipoib.Mode, mtu int, window int, streams int, d sim
 		dur += 60 * d
 	}
 	defer env.Shutdown()
-	return tcpThroughput(env, sa, sb, streams, dur)
+	bw, err := tcpThroughput(env, sa, sb, streams, dur)
+	m.Check(err)
+	return bw
 }
 
 // tcpThroughput runs one-way flows for dur and returns the steady-state
-// rate over the second half in MillionBytes/s.
-func tcpThroughput(env *sim.Env, sa, sb *tcpsim.Stack, streams int, dur sim.Time) float64 {
+// rate over the second half in MillionBytes/s. Under fault injection
+// individual streams may die mid-run (their connections reset); the rate
+// then reflects what the surviving streams delivered. Only when nothing at
+// all was delivered does the first connection error surface instead.
+func tcpThroughput(env *sim.Env, sa, sb *tcpsim.Stack, streams int, dur sim.Time) (float64, error) {
+	var firstErr error
+	note := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for i := 0; i < streams; i++ {
 		port := 6000 + i
 		ln := sb.Listen(port)
 		env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 		env.Go("cli", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), port)
+			c, err := sa.Dial(p, sb.Addr(), port)
+			if err != nil {
+				note(err)
+				return
+			}
 			for {
 				// The paper sends 2 MB application messages.
-				c.WriteSynthetic(p, 2<<20)
+				if err := c.WriteSynthetic(p, 2<<20); err != nil {
+					note(err)
+					return
+				}
 			}
 		})
 	}
@@ -253,7 +273,17 @@ func tcpThroughput(env *sim.Env, sa, sb *tcpsim.Stack, streams int, dur sim.Time
 	mid := sb.Stats().RxBytes
 	env.RunUntil(dur)
 	end := sb.Stats().RxBytes
-	return float64(end-mid) / (dur / 2).Seconds() / 1e6
+	if end == 0 {
+		// Nothing crossed the wire inside the window. Run on until the
+		// connect/retransmission machinery reaches its verdict, so a dead
+		// WAN reports its error instead of a measurement of nothing. The
+		// budget covers the full handshake backoff schedule.
+		env.RunUntil(dur + 20*sim.Second)
+		if firstErr != nil {
+			return 0, firstErr
+		}
+	}
+	return float64(end-mid) / (dur / 2).Seconds() / 1e6, nil
 }
 
 // fig6 reproduces IPoIB-UD throughput: (a) single stream with varying TCP
@@ -637,12 +667,14 @@ func fig13(opt Options) *Plan {
 			})
 			pl.point(rc, float64(th), label+"/ipoib-rc", func(m *Meter) float64 {
 				env, tb := m.pair(d)
-				srv, cl := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+				srv, cl, err := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+				m.Check(err)
 				return iozone(srv, cl, env, th)
 			})
 			pl.point(ud, float64(th), label+"/ipoib-ud", func(m *Meter) float64 {
 				env, tb := m.pair(d)
-				srv, cl := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+				srv, cl, err := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+				m.Check(err)
 				return iozone(srv, cl, env, th)
 			})
 		}

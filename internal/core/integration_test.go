@@ -75,7 +75,11 @@ func TestNFSWriteThroughput(t *testing.T) {
 		return nfs.MountRDMA(tb.B[0], tb.A[0])
 	})
 	tcpRC := measure(func(env *sim.Env, tb *cluster.Testbed) (*nfs.Server, *nfs.Client) {
-		return nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+		srv, cl, err := nfs.MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+		if err != nil {
+			t.Fatalf("MountTCP: %v", err)
+		}
+		return srv, cl
 	})
 	if rdma <= 0 || tcpRC <= 0 {
 		t.Fatalf("write throughput rdma=%.1f tcp=%.1f", rdma, tcpRC)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -58,6 +59,11 @@ type Meter struct {
 	// tel, when non-nil, is attached to every environment the point
 	// creates, so layer instrumentation lights up.
 	tel *telemetry.Telemetry
+	// fault, when non-nil, is attached to every environment the point
+	// creates; the wan and tcpsim layers arm it at construction time. It
+	// is seeded either by the runner (RunnerOptions.Fault, a run-wide
+	// chaos plan) or by the point itself (WithFault, the loss-* family).
+	fault *fault.Plan
 }
 
 // NewEnv creates a simulation environment owned by this point.
@@ -67,9 +73,32 @@ func (m *Meter) NewEnv() *sim.Env {
 		if m.tel != nil {
 			telemetry.Attach(env, m.tel)
 		}
+		if m.fault != nil {
+			// An invalid plan fails this one point (error row), never the
+			// whole run.
+			m.Check(fault.AttachPlan(env, m.fault))
+		}
 		m.envs = append(m.envs, env)
 	}
 	return env
+}
+
+// WithFault installs a fault plan for every environment the point creates
+// from now on, overriding any run-wide plan. The loss-* experiments call
+// it with a per-point seeded plan before building their testbeds.
+func (m *Meter) WithFault(p *fault.Plan) {
+	if m != nil {
+		m.fault = p
+	}
+}
+
+// Check fails the current measurement point if err is non-nil: the point
+// commits as an error row (value NaN) instead of a measurement, and the
+// rest of the run continues. It must be called from inside a point's Fn.
+func (m *Meter) Check(err error) {
+	if err != nil {
+		panic(&pointFailure{err: err})
+	}
 }
 
 // pair builds the standard one-node-per-cluster WAN testbed.
@@ -123,6 +152,12 @@ var registry = []Spec{
 	{"fig11", fig11},
 	{"fig12", fig12},
 	{"fig13", fig13},
+	// The loss-* family extends the paper to lossy WAN circuits (see
+	// FAULTS.md); each point arms its own seeded fault plan.
+	{"loss-goodput", lossGoodput},
+	{"loss-latency", lossLatency},
+	{"loss-flap", lossFlap},
+	{"loss-tcp", lossTCP},
 }
 
 // ExperimentIDs lists the registered experiment identifiers, in the

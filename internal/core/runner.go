@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -34,6 +36,13 @@ type RunnerOptions struct {
 	// the point's virtual end time and a harness-level span covering the
 	// whole point is emitted.
 	Telemetry *telemetry.Telemetry
+	// Fault, when non-nil, is a run-wide chaos plan attached to every
+	// simulation environment every point creates (the CLI -fault flag).
+	// Points that install their own plan (the loss-* family) override it.
+	// Determinism is unaffected: each point owns its environments, so
+	// each point draws from its own injector streams regardless of worker
+	// count.
+	Fault *fault.Plan
 }
 
 func (o RunnerOptions) workers(points int) int {
@@ -57,6 +66,39 @@ type PointMetrics struct {
 	Wall       time.Duration // host time spent measuring the point
 	SimTime    sim.Time      // virtual time reached across the point's envs
 	Events     int64         // simulation events executed
+	// Err is non-empty when the point failed (fault injection exhausted a
+	// recovery budget, a parameter was invalid); its value landed as NaN.
+	Err string
+}
+
+// PointError is one failed measurement point, in plan (build) order.
+type PointError struct {
+	Label string
+	Err   string
+}
+
+// pointFailure wraps a point-level error so the runner's recover can tell
+// a deliberate Meter.Check failure from an arbitrary panic. Both become
+// error rows; arbitrary panics keep their message.
+type pointFailure struct{ err error }
+
+// runPoint executes one point, converting any failure — a Meter.Check, a
+// process panic surfaced by the simulation kernel, a protocol model
+// giving up — into an error and a NaN measurement. The rest of the run is
+// unaffected: with fault injection armed, a failed point is a result, not
+// a crash.
+func runPoint(pt *Point, m *Meter) (y float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pf, ok := r.(*pointFailure); ok {
+				err = pf.err
+			} else {
+				err = fmt.Errorf("%v", r)
+			}
+			y = math.NaN()
+		}
+	}()
+	return pt.Fn(m), nil
 }
 
 // ExperimentMetrics aggregates point metrics for one experiment.
@@ -74,6 +116,9 @@ type Result struct {
 	ID      string
 	Tables  []*stats.Table
 	Metrics ExperimentMetrics
+	// Errors lists failed points in plan order (empty on a clean run).
+	// Their table cells render as ERR.
+	Errors []PointError
 }
 
 // Run generates the tables for one experiment id sequentially. The options
@@ -104,6 +149,10 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 		mu   sync.Mutex // guards agg, done and the progress line
 		done int
 	)
+	// Per-point error slots, written by whichever worker ran the point and
+	// read only after wg.Wait — error reporting order is plan order, never
+	// completion order.
+	errs := make([]string, len(pl.Points))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,9 +161,12 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 			defer wg.Done()
 			for i := range idx {
 				pt := &pl.Points[i]
-				m := &Meter{tel: ropt.Telemetry}
+				m := &Meter{tel: ropt.Telemetry, fault: ropt.Fault}
 				t0 := time.Now()
-				y := pt.Fn(m)
+				y, err := runPoint(pt, m)
+				if err != nil {
+					errs[i] = err.Error()
+				}
 				pt.commit(y)
 				m.close()
 				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
@@ -132,6 +184,7 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 					Wall:       time.Since(t0),
 					SimTime:    m.SimTime(),
 					Events:     m.Events(),
+					Err:        errs[i],
 				}
 				mu.Lock()
 				agg.SimTime += pm.SimTime
@@ -157,11 +210,17 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 		pl.Finish()
 	}
 	agg.Wall = time.Since(start)
+	var perr []PointError
+	for i, e := range errs {
+		if e != "" {
+			perr = append(perr, PointError{Label: pl.Points[i].Label, Err: e})
+		}
+	}
 	if ropt.Progress != nil {
 		fmt.Fprintf(ropt.Progress, "\r\x1b[K[%s] %d points in %v (sim %v, %d events)\n",
 			spec.ID, agg.Points, agg.Wall.Round(time.Millisecond), agg.SimTime, agg.Events)
 	}
-	return Result{ID: spec.ID, Tables: pl.Tables, Metrics: agg}
+	return Result{ID: spec.ID, Tables: pl.Tables, Metrics: agg, Errors: perr}
 }
 
 // RunAll generates every experiment sequentially, rendering each table to
@@ -182,7 +241,17 @@ func RunAllWith(w io.Writer, opt Options, ropt RunnerOptions) []Result {
 		for _, t := range res.Tables {
 			t.Render(w)
 		}
+		RenderErrors(w, res.Errors)
 		results = append(results, res)
 	}
 	return results
+}
+
+// RenderErrors prints one line per failed point after an experiment's
+// tables. A clean run prints nothing, keeping fault-free output (and the
+// golden fixture) byte-identical to before the fault layer existed.
+func RenderErrors(w io.Writer, errs []PointError) {
+	for _, e := range errs {
+		fmt.Fprintf(w, "!! %s: %s\n", e.Label, e.Err)
+	}
 }

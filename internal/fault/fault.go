@@ -1,0 +1,287 @@
+// Package fault is the deterministic fault-injection engine for the
+// simulated stack. It turns the raw ib.Link.DropFn hook (and the analogous
+// tcpsim segment hook) into composable, seeded fault models:
+//
+//   - Bernoulli: independent per-packet loss with probability P.
+//   - GilbertElliott: bursty two-state loss (good/bad channel).
+//   - corruption: per-packet bit corruption; a corrupted packet fails its
+//     CRC at the receiver and is discarded, so its observable effect is a
+//     drop, but it is counted separately.
+//   - scheduled link flaps (Down/Up steps), loss brownouts, and WAN rate
+//     throttling, validated up front like wan.ScheduleDelays.
+//
+// Determinism: every Injector owns a private splitmix64 stream seeded from
+// the fault Plan, and every random decision is drawn in simulation-event
+// order from that stream. Nothing depends on host time, map iteration or
+// goroutine scheduling, so a faulted experiment is byte-identical across
+// repeated runs and across parallel-runner worker counts (each measurement
+// point owns its own Env, hence its own Injector and stream).
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// RNG is a splitmix64 pseudo-random stream. It is deliberately not
+// math/rand: the algorithm is fixed forever (replayable across Go versions)
+// and the zero-allocation state is one word.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a stream seeded with seed. Distinct seeds give
+// uncorrelated streams (splitmix64 is the recommended seeder for exactly
+// this purpose).
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// MixSeed derives a sub-stream seed from a base seed and a salt, so one
+// plan seed can deterministically feed independent injectors (WAN link,
+// TCP stack) without sharing a stream.
+func MixSeed(seed, salt uint64) uint64 {
+	r := RNG{state: seed ^ (salt * 0x9e3779b97f4a7c15)}
+	return r.Uint64()
+}
+
+// Model decides the fate of one packet. Drop is called once per packet in
+// transmission order; implementations may keep state (burst models) but
+// must draw randomness only from the supplied stream.
+type Model interface {
+	Drop(rng *RNG, wireBytes int) bool
+}
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct{ P float64 }
+
+// Drop implements Model.
+func (b Bernoulli) Drop(rng *RNG, _ int) bool {
+	return b.P > 0 && rng.Float64() < b.P
+}
+
+// BurstParams configures a Gilbert–Elliott channel: per-packet transition
+// probabilities between the good and bad states, and the loss probability
+// inside each state. Typical WAN burst loss uses PLossGood ~ 0 and
+// PLossBad near 1, with PGoodToBad small and PBadToGood setting the mean
+// burst length (1/PBadToGood packets).
+type BurstParams struct {
+	PGoodToBad float64
+	PBadToGood float64
+	PLossGood  float64
+	PLossBad   float64
+}
+
+// GilbertElliott is the stateful burst-loss model built from BurstParams.
+// It starts in the good state.
+type GilbertElliott struct {
+	BurstParams
+	bad bool
+}
+
+// NewGilbertElliott returns a burst model in the good state.
+func NewGilbertElliott(p BurstParams) *GilbertElliott {
+	return &GilbertElliott{BurstParams: p}
+}
+
+// Drop implements Model. Each packet first resolves the state transition,
+// then draws the loss for the resulting state — two draws per packet,
+// always, so the stream position is independent of the outcome.
+func (g *GilbertElliott) Drop(rng *RNG, _ int) bool {
+	if g.bad {
+		if rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.PGoodToBad {
+			g.bad = true
+		}
+	}
+	p := g.PLossGood
+	if g.bad {
+		p = g.PLossBad
+	}
+	return p > 0 && rng.Float64() < p
+}
+
+// FlapStep is one edge of a scheduled link flap: at time At the link goes
+// down (Down=true) or comes back up.
+type FlapStep struct {
+	At   sim.Time
+	Down bool
+}
+
+// LossStep sets the scheduled brownout loss level at time At. Loss is a
+// probability in [0, 1]; 0 ends the brownout.
+type LossStep struct {
+	At   sim.Time
+	Loss float64
+}
+
+// RateStep throttles a link to Rate at time At (WAN rate throttling, e.g.
+// a congested provider circuit).
+type RateStep struct {
+	At   sim.Time
+	Rate ib.Rate
+}
+
+// Injector is the per-environment fault state for one attachment point
+// (one link, or one TCP stack). All decisions flow through DropWire in
+// simulation-event order.
+type Injector struct {
+	env    *sim.Env
+	rng    *RNG
+	models []Model
+	// corruptP is the bit-corruption probability, applied after the loss
+	// models so clean packets can still be corrupted.
+	corruptP float64
+	// down and loss are the scheduled-fault levers (flaps, brownouts).
+	down bool
+	loss float64
+
+	drops    int64 // packets dropped (loss models, brownouts, down link)
+	corrupts int64 // packets corrupted (discarded at the receiver's CRC)
+}
+
+// NewInjector creates an injector drawing from its own seeded stream.
+func NewInjector(env *sim.Env, seed uint64) *Injector {
+	return &Injector{env: env, rng: NewRNG(seed)}
+}
+
+// Use appends a loss model; models are consulted in the order added.
+func (in *Injector) Use(m Model) { in.models = append(in.models, m) }
+
+// SetCorruption sets the per-packet bit-corruption probability.
+func (in *Injector) SetCorruption(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("fault: corruption probability %v outside [0, 1]", p)
+	}
+	in.corruptP = p
+	return nil
+}
+
+// SetDown forces the down/up state directly (tests and the WANDown plan
+// lever; scheduled flaps use ScheduleFlaps).
+func (in *Injector) SetDown(down bool) { in.down = down }
+
+// Down reports whether the attachment point is currently down.
+func (in *Injector) Down() bool { return in.down }
+
+// Drops returns the number of packets dropped so far.
+func (in *Injector) Drops() int64 { return in.drops }
+
+// Corrupts returns the number of packets corrupted so far.
+func (in *Injector) Corrupts() int64 { return in.corrupts }
+
+// DropWire decides the fate of one packet of wireBytes on the wire. It is
+// the func installed into ib.Link.DropFn / the tcpsim drop hook.
+func (in *Injector) DropWire(wireBytes int) bool {
+	if in.down {
+		in.drops++
+		return true
+	}
+	if in.loss > 0 && in.rng.Float64() < in.loss {
+		in.drops++
+		return true
+	}
+	for _, m := range in.models {
+		if m.Drop(in.rng, wireBytes) {
+			in.drops++
+			return true
+		}
+	}
+	if in.corruptP > 0 && in.rng.Float64() < in.corruptP {
+		in.corrupts++
+		return true
+	}
+	return false
+}
+
+// AttachLink installs the injector as the link's fault hook. Both
+// directions of the link share this injector (and its stream).
+func (in *Injector) AttachLink(l *ib.Link) { l.DropFn = in.DropWire }
+
+// ScheduleFlaps validates the whole flap schedule and then arms it. Steps
+// must be sorted by time and not in the simulated past; on any violation
+// nothing is armed and the error describes the offending step.
+func (in *Injector) ScheduleFlaps(steps []FlapStep) error {
+	now := in.env.Now()
+	prev := sim.Time(-1)
+	for i, s := range steps {
+		if s.At < now {
+			return fmt.Errorf("fault: flap step %d at %v is in the past (now %v)", i, s.At, now)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: flap step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		prev = s.At
+	}
+	for _, s := range steps {
+		down := s.Down
+		in.env.At(s.At-now, func() { in.down = down })
+	}
+	return nil
+}
+
+// ScheduleLoss validates and arms a brownout schedule: at each step the
+// scheduled loss level changes to Loss.
+func (in *Injector) ScheduleLoss(steps []LossStep) error {
+	now := in.env.Now()
+	prev := sim.Time(-1)
+	for i, s := range steps {
+		if s.At < now {
+			return fmt.Errorf("fault: loss step %d at %v is in the past (now %v)", i, s.At, now)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: loss step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		if s.Loss < 0 || s.Loss > 1 {
+			return fmt.Errorf("fault: loss step %d level %v outside [0, 1]", i, s.Loss)
+		}
+		prev = s.At
+	}
+	for _, s := range steps {
+		level := s.Loss
+		in.env.At(s.At-now, func() { in.loss = level })
+	}
+	return nil
+}
+
+// ScheduleRates validates and arms a rate-throttling schedule on l.
+func (in *Injector) ScheduleRates(l *ib.Link, steps []RateStep) error {
+	now := in.env.Now()
+	prev := sim.Time(-1)
+	for i, s := range steps {
+		if s.At < now {
+			return fmt.Errorf("fault: rate step %d at %v is in the past (now %v)", i, s.At, now)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: rate step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		if s.Rate <= 0 {
+			return fmt.Errorf("fault: rate step %d rate %v must be positive", i, s.Rate)
+		}
+		prev = s.At
+	}
+	for _, s := range steps {
+		rate := s.Rate
+		in.env.At(s.At-now, func() {
+			if err := l.SetRate(rate); err != nil {
+				panic(err) // unreachable: rate validated above
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRNGDeterminism pins the splitmix64 stream: same seed, same values,
+// forever. Changing these constants silently would invalidate every
+// recorded faulted experiment.
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+	// First draw of the seed-0 stream, as splitmix64 defines it.
+	if got := NewRNG(0).Uint64(); got != 0xe220a8397b1dcdaf {
+		t.Errorf("splitmix64(0) first draw = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+// TestMixSeedIndependence checks that salted sub-streams differ from each
+// other and from the base stream.
+func TestMixSeedIndependence(t *testing.T) {
+	if MixSeed(1, saltWAN) == MixSeed(1, saltTCP) {
+		t.Error("WAN and TCP sub-seeds collide for the same base seed")
+	}
+	if MixSeed(1, saltWAN) == MixSeed(2, saltWAN) {
+		t.Error("different base seeds give the same WAN sub-seed")
+	}
+}
+
+// TestInjectorDeterminism replays the same decision sequence twice and
+// requires identical outcomes — the property the cross-parallelism
+// byte-identity of the loss-* experiments rests on.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []bool {
+		env := sim.NewEnv()
+		in := NewInjector(env, 99)
+		in.Use(Bernoulli{P: 0.1})
+		in.Use(NewGilbertElliott(BurstParams{
+			PGoodToBad: 0.05, PBadToGood: 0.3, PLossBad: 0.9,
+		}))
+		if err := in.SetCorruption(0.01); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 5000)
+		for i := range out {
+			out[i] = in.DropWire(2048)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop decision %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestBernoulliRate sanity-checks the long-run drop frequency.
+func TestBernoulliRate(t *testing.T) {
+	env := sim.NewEnv()
+	in := NewInjector(env, 7)
+	in.Use(Bernoulli{P: 0.2})
+	const n = 100000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if in.DropWire(1500) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.18 || got > 0.22 {
+		t.Errorf("Bernoulli(0.2) dropped %.3f of packets", got)
+	}
+	if int64(drops) != in.Drops() {
+		t.Errorf("Drops() = %d, observed %d", in.Drops(), drops)
+	}
+}
+
+// TestGilbertElliottBursts checks the model actually clusters losses: with
+// a near-lossless good state and a lossy bad state, the mean run length of
+// consecutive drops must exceed what independent loss at the same average
+// rate would produce (~1/(1-p) ≈ 1).
+func TestGilbertElliottBursts(t *testing.T) {
+	rng := NewRNG(3)
+	g := NewGilbertElliott(BurstParams{
+		PGoodToBad: 0.01, PBadToGood: 0.2, PLossGood: 0, PLossBad: 1,
+	})
+	const n = 200000
+	drops, runs, inRun := 0, 0, false
+	for i := 0; i < n; i++ {
+		if g.Drop(rng, 1500) {
+			drops++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if drops == 0 || runs == 0 {
+		t.Fatalf("no loss produced (drops=%d runs=%d)", drops, runs)
+	}
+	meanRun := float64(drops) / float64(runs)
+	// Mean bad-state dwell is 1/PBadToGood = 5 packets, all lost.
+	if meanRun < 2 {
+		t.Errorf("mean loss-burst length %.2f; losses are not bursty", meanRun)
+	}
+}
+
+// TestDownDominates checks a down link drops everything regardless of
+// models, and that flipping it back up restores the models' verdicts.
+func TestDownDominates(t *testing.T) {
+	env := sim.NewEnv()
+	in := NewInjector(env, 1)
+	in.SetDown(true)
+	for i := 0; i < 100; i++ {
+		if !in.DropWire(64) {
+			t.Fatal("packet survived a down link")
+		}
+	}
+	in.SetDown(false)
+	dropped := false
+	for i := 0; i < 100; i++ {
+		if in.DropWire(64) {
+			dropped = true
+		}
+	}
+	if dropped {
+		t.Error("model-free injector dropped a packet while up")
+	}
+}
+
+// TestScheduleValidation exercises every rejection path: past steps,
+// out-of-order steps, out-of-range probabilities, non-positive rates. A
+// rejected schedule must arm nothing.
+func TestScheduleValidation(t *testing.T) {
+	env := sim.NewEnv()
+	in := NewInjector(env, 1)
+	if err := in.ScheduleFlaps([]FlapStep{{At: 2 * sim.Second, Down: true}, {At: sim.Second}}); err == nil {
+		t.Error("out-of-order flap schedule accepted")
+	}
+	if err := in.ScheduleLoss([]LossStep{{At: sim.Second, Loss: 1.5}}); err == nil {
+		t.Error("loss level 1.5 accepted")
+	}
+	if err := in.ScheduleLoss([]LossStep{{At: -sim.Second, Loss: 0.5}}); err == nil {
+		t.Error("negative-time loss step accepted")
+	}
+	if err := in.ScheduleRates(nil, []RateStep{{At: sim.Second, Rate: 0}}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	// Nothing armed: the environment must drain with zero events.
+	env.Run()
+	if n := env.Executed(); n != 0 {
+		t.Errorf("rejected schedules armed %d events", n)
+	}
+	env.Shutdown()
+}
+
+// TestScheduledFlapTakesEffect arms a down/up pair and probes the state
+// around the edges.
+func TestScheduledFlapTakesEffect(t *testing.T) {
+	env := sim.NewEnv()
+	in := NewInjector(env, 1)
+	err := in.ScheduleFlaps([]FlapStep{
+		{At: sim.Millisecond, Down: true},
+		{At: 3 * sim.Millisecond, Down: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var during, after bool
+	env.At(2*sim.Millisecond, func() { during = in.Down() })
+	env.At(4*sim.Millisecond, func() { after = in.Down() })
+	env.Run()
+	env.Shutdown()
+	if !during {
+		t.Error("link not down between the scheduled edges")
+	}
+	if after {
+		t.Error("link still down after the up edge")
+	}
+}
+
+// TestPlanValidate covers the plan-level validation surface.
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{WANLoss: -0.1},
+		{WANLoss: 1.1},
+		{WANCorrupt: 2},
+		{TCPLoss: -1},
+		{WANBurst: &BurstParams{PGoodToBad: 1.5}},
+		{WANFlaps: []FlapStep{{At: -1}}},
+		{WANFlaps: []FlapStep{{At: 2}, {At: 1}}},
+		{WANBrownouts: []LossStep{{At: 1, Loss: 7}}},
+		{WANRates: []RateStep{{At: 1, Rate: -3}}},
+	}
+	for i, p := range bad {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid plan %d accepted", i)
+		}
+	}
+	good := Plan{
+		Seed: 9, WANLoss: 0.01, WANCorrupt: 0.001, TCPLoss: 0.02,
+		WANBurst:     &BurstParams{PGoodToBad: 0.01, PBadToGood: 0.2, PLossBad: 0.8},
+		WANFlaps:     []FlapStep{{At: 1, Down: true}, {At: 2}},
+		WANBrownouts: []LossStep{{At: 1, Loss: 0.5}, {At: 2, Loss: 0}},
+		WANRates:     []RateStep{{At: 3, Rate: 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if !good.Enabled() {
+		t.Error("armed plan reports Enabled() == false")
+	}
+	if (&Plan{}).Enabled() {
+		t.Error("zero plan reports Enabled() == true")
+	}
+}
+
+// TestAttachPlanRejectsInvalid checks AttachPlan refuses a bad plan and
+// leaves the environment clean.
+func TestAttachPlanRejectsInvalid(t *testing.T) {
+	env := sim.NewEnv()
+	if err := AttachPlan(env, &Plan{WANLoss: 2}); err == nil {
+		t.Fatal("invalid plan attached")
+	}
+	if PlanFromEnv(env) != nil {
+		t.Error("rejected plan still discoverable from env")
+	}
+	env.Shutdown()
+}

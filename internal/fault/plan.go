@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/sim"
+)
+
+// Sub-stream salts: one plan seed feeds independent streams per
+// attachment point, so WAN and TCP fault decisions never interleave on a
+// shared stream (which would make one layer's traffic perturb the other's
+// loss pattern).
+const (
+	saltWAN uint64 = 0x57414e // "WAN"
+	saltTCP uint64 = 0x544350 // "TCP"
+)
+
+// Plan is the declarative fault configuration for one simulation
+// environment. The harness attaches a validated plan with AttachPlan
+// before building the testbed; layers that own an attachment point (the
+// wan package for the Longbow link, tcpsim for the socket stack) discover
+// it with PlanFromEnv and arm their injectors. The zero value means "no
+// faults" and arms nothing, so fault-free runs stay byte-identical to a
+// build without this package.
+type Plan struct {
+	// Seed feeds every injector derived from this plan (via MixSeed).
+	// Same plan + same seed -> identical fault decisions, regardless of
+	// runner parallelism.
+	Seed uint64
+
+	// WANDown takes the WAN link down permanently from the start.
+	WANDown bool
+	// WANLoss is an independent per-packet (Bernoulli) loss probability
+	// on the WAN link.
+	WANLoss float64
+	// WANBurst, when non-nil, adds a Gilbert–Elliott burst-loss channel
+	// on the WAN link.
+	WANBurst *BurstParams
+	// WANCorrupt is the per-packet bit-corruption probability on the WAN
+	// link (corrupted packets are dropped at the receiver's CRC but
+	// counted separately).
+	WANCorrupt float64
+	// WANFlaps schedules link down/up edges on the WAN link.
+	WANFlaps []FlapStep
+	// WANBrownouts schedules loss-level changes on the WAN link.
+	WANBrownouts []LossStep
+	// WANRates schedules rate throttling on the WAN link.
+	WANRates []RateStep
+
+	// TCPLoss is an independent per-segment loss probability inside the
+	// simulated TCP stack (IPoIB/SDP path).
+	TCPLoss float64
+}
+
+func probErr(name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("fault: %s probability %v outside [0, 1]", name, p)
+	}
+	return nil
+}
+
+// Validate checks every lever of the plan: probabilities in [0, 1],
+// schedules sorted with non-negative times, rates positive. A plan that
+// validates at time zero arms without error.
+func (p *Plan) Validate() error {
+	if err := probErr("WANLoss", p.WANLoss); err != nil {
+		return err
+	}
+	if err := probErr("WANCorrupt", p.WANCorrupt); err != nil {
+		return err
+	}
+	if err := probErr("TCPLoss", p.TCPLoss); err != nil {
+		return err
+	}
+	if b := p.WANBurst; b != nil {
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"WANBurst.PGoodToBad", b.PGoodToBad},
+			{"WANBurst.PBadToGood", b.PBadToGood},
+			{"WANBurst.PLossGood", b.PLossGood},
+			{"WANBurst.PLossBad", b.PLossBad},
+		} {
+			if err := probErr(f.name, f.v); err != nil {
+				return err
+			}
+		}
+	}
+	prev := sim.Time(-1)
+	for i, s := range p.WANFlaps {
+		if s.At < 0 {
+			return fmt.Errorf("fault: flap step %d at negative time %v", i, s.At)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: flap step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		prev = s.At
+	}
+	prev = sim.Time(-1)
+	for i, s := range p.WANBrownouts {
+		if s.At < 0 {
+			return fmt.Errorf("fault: brownout step %d at negative time %v", i, s.At)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: brownout step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		if err := probErr(fmt.Sprintf("brownout step %d", i), s.Loss); err != nil {
+			return err
+		}
+		prev = s.At
+	}
+	prev = sim.Time(-1)
+	for i, s := range p.WANRates {
+		if s.At < 0 {
+			return fmt.Errorf("fault: rate step %d at negative time %v", i, s.At)
+		}
+		if s.At < prev {
+			return fmt.Errorf("fault: rate step %d at %v out of order (previous %v)", i, s.At, prev)
+		}
+		if s.Rate <= 0 {
+			return fmt.Errorf("fault: rate step %d rate %v must be positive", i, s.Rate)
+		}
+		prev = s.At
+	}
+	return nil
+}
+
+// wanEnabled reports whether any WAN-link lever is armed.
+func (p *Plan) wanEnabled() bool {
+	return p.WANDown || p.WANLoss > 0 || p.WANBurst != nil || p.WANCorrupt > 0 ||
+		len(p.WANFlaps) > 0 || len(p.WANBrownouts) > 0 || len(p.WANRates) > 0
+}
+
+// Enabled reports whether the plan arms any fault at all.
+func (p *Plan) Enabled() bool { return p.wanEnabled() || p.TCPLoss > 0 }
+
+// AttachPlan validates p and installs it on the environment's fault slot.
+// It must run before the testbed is built (wan.NewPair and tcpsim.NewStack
+// read the slot at construction time).
+func AttachPlan(env *sim.Env, p *Plan) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	env.SetFault(p)
+	return nil
+}
+
+// PlanFromEnv returns the plan attached to env, or nil if none (or if the
+// slot holds something else).
+func PlanFromEnv(env *sim.Env) *Plan {
+	p, _ := env.Fault().(*Plan)
+	return p
+}
+
+// ArmWAN builds the WAN-link injector for a validated plan and attaches
+// it to link, arming the scheduled flap/brownout/rate steps. It returns
+// nil — and touches nothing — when no WAN lever is set. Schedule steps at
+// or before the current simulated time are applied immediately in order
+// (the plan was validated against time zero; arming later than a step's
+// time just means that state is already in effect).
+func (p *Plan) ArmWAN(env *sim.Env, link *ib.Link) *Injector {
+	if p == nil || !p.wanEnabled() {
+		return nil
+	}
+	in := NewInjector(env, MixSeed(p.Seed, saltWAN))
+	if p.WANDown {
+		in.down = true
+	}
+	if p.WANLoss > 0 {
+		in.Use(Bernoulli{P: p.WANLoss})
+	}
+	if p.WANBurst != nil {
+		in.Use(NewGilbertElliott(*p.WANBurst))
+	}
+	in.corruptP = p.WANCorrupt
+	now := env.Now()
+	for _, s := range p.WANFlaps {
+		if s.At <= now {
+			in.down = s.Down
+			continue
+		}
+		down := s.Down
+		env.At(s.At-now, func() { in.down = down })
+	}
+	for _, s := range p.WANBrownouts {
+		if s.At <= now {
+			in.loss = s.Loss
+			continue
+		}
+		level := s.Loss
+		env.At(s.At-now, func() { in.loss = level })
+	}
+	for _, s := range p.WANRates {
+		if s.At <= now {
+			if err := link.SetRate(s.Rate); err != nil {
+				panic(err) // unreachable: plan validated
+			}
+			continue
+		}
+		rate := s.Rate
+		env.At(s.At-now, func() {
+			if err := link.SetRate(rate); err != nil {
+				panic(err) // unreachable: plan validated
+			}
+		})
+	}
+	in.AttachLink(link)
+	return in
+}
+
+// ArmTCP builds the TCP-stack injector for a validated plan, or returns
+// nil when the plan injects no TCP faults. The stack installs the
+// injector's DropWire as its segment hook.
+func (p *Plan) ArmTCP(env *sim.Env) *Injector {
+	if p == nil || p.TCPLoss <= 0 {
+		return nil
+	}
+	in := NewInjector(env, MixSeed(p.Seed, saltTCP))
+	in.Use(Bernoulli{P: p.TCPLoss})
+	return in
+}

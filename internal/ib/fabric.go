@@ -256,6 +256,17 @@ func (l *Link) SetDelay(d sim.Time) {
 // Delay returns the one-way propagation delay.
 func (l *Link) Delay() sim.Time { return l.prop }
 
+// SetRate changes the link data rate. The fault layer uses it for WAN rate
+// throttling (a degraded provider circuit); packets already serializing
+// keep their departure times, later packets serialize at the new rate.
+func (l *Link) SetRate(r Rate) error {
+	if r <= 0 {
+		return fmt.Errorf("ib: link rate must be positive, got %v", r)
+	}
+	l.rate = r
+	return nil
+}
+
 // Rate returns the link data rate.
 func (l *Link) Rate() Rate { return l.rate }
 

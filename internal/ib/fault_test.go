@@ -1,0 +1,141 @@
+package ib_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ib"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// deadLinkWorld builds two HCAs joined by a single link whose injector is
+// permanently down, with an RC pair across it.
+func deadLinkWorld(t *testing.T, cfg ib.QPConfig) (*sim.Env, *ib.QP, *ib.QP) {
+	t.Helper()
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	a, b := f.AddHCA("a"), f.AddHCA("b")
+	link := f.Connect(a, b, ib.DDR, ib.DefaultCableDelay)
+	f.Finalize()
+	in := fault.NewInjector(env, 1)
+	in.SetDown(true)
+	in.AttachLink(link)
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, cfg)
+	return env, qa, qb
+}
+
+// TestRCDeadLinkRetryExceeded is the regression test for the infinite
+// retransmission bug: before the retry budget existed, a permanently dead
+// link made the RC retransmit timer re-arm forever and the simulation
+// never drained. Now the send must complete with RETRY_EXCEEDED after
+// RetryLimit retransmissions, and the event count must stay bounded.
+func TestRCDeadLinkRetryExceeded(t *testing.T) {
+	env, qa, _ := deadLinkWorld(t, ib.QPConfig{RetryLimit: 3, RetryTimeout: sim.Millisecond})
+	var got ib.Completion
+	env.Go("send", func(p *sim.Proc) {
+		qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 4096})
+		got = qa.CQ().Poll(p)
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	if got.Status != ib.StatusRetryExceeded {
+		t.Fatalf("completion status = %v, want RETRY_EXCEEDED", got.Status)
+	}
+	if !qa.Errored() {
+		t.Error("QP not in error state after retry exhaustion")
+	}
+	// 3 retries of one message cannot take more than a handful of timer
+	// and packet events; an unbounded count means the timer re-armed past
+	// the budget.
+	if n := env.Executed(); n > 200 {
+		t.Errorf("executed %d events for 3 retries; retransmission did not stop", n)
+	}
+}
+
+// TestRCDeadLinkFlushesInflight checks that the work queued behind the
+// doomed message drains with FLUSHED rather than hanging or retrying.
+func TestRCDeadLinkFlushesInflight(t *testing.T) {
+	env, qa, _ := deadLinkWorld(t, ib.QPConfig{RetryLimit: 2, RetryTimeout: sim.Millisecond})
+	const posts = 4
+	var statuses []ib.Status
+	env.Go("send", func(p *sim.Proc) {
+		for i := 0; i < posts; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 1024})
+		}
+		for i := 0; i < posts; i++ {
+			statuses = append(statuses, qa.CQ().Poll(p).Status)
+		}
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+	if len(statuses) != posts {
+		t.Fatalf("got %d completions, want %d", len(statuses), posts)
+	}
+	if statuses[0] != ib.StatusRetryExceeded {
+		t.Errorf("first completion %v, want RETRY_EXCEEDED", statuses[0])
+	}
+	for i, st := range statuses[1:] {
+		if st != ib.StatusFlushed {
+			t.Errorf("completion %d = %v, want FLUSHED", i+1, st)
+		}
+	}
+}
+
+// TestDropAccountingAgreement pushes lossy traffic across one link and
+// checks that the three independent drop ledgers agree exactly:
+// Link.Drops(), the ib.link.drops telemetry counter, and the tracer's
+// count of "drop" events.
+func TestDropAccountingAgreement(t *testing.T) {
+	env := sim.NewEnv()
+	reg := telemetry.NewRegistry()
+	telemetry.Attach(env, &telemetry.Telemetry{Metrics: reg})
+	f := ib.NewFabric(env)
+	var ct ib.CountingTracer
+	f.SetTracer(ct.Hook())
+	a, b := f.AddHCA("a"), f.AddHCA("b")
+	link := f.Connect(a, b, ib.DDR, ib.DefaultCableDelay)
+	f.Finalize()
+
+	in := fault.NewInjector(env, 42)
+	in.Use(fault.Bernoulli{P: 0.05})
+	in.AttachLink(link)
+
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{RetryLimit: 50, RetryTimeout: sim.Millisecond})
+	const msgs = 200
+	env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			qb.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < msgs; i++ {
+			qb.CQ().Poll(p)
+		}
+	})
+	env.Go("send", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 2048})
+		}
+		for i := 0; i < msgs; i++ {
+			qa.CQ().Poll(p)
+		}
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+
+	drops := link.Drops()
+	if drops == 0 {
+		t.Fatal("no drops at 5% loss over 200 messages; injector not armed?")
+	}
+	if got := reg.Counter("ib.link.drops").Value(); got != drops {
+		t.Errorf("telemetry ib.link.drops = %d, Link.Drops() = %d", got, drops)
+	}
+	if ct.Drops != drops {
+		t.Errorf("tracer drop events = %d, Link.Drops() = %d", ct.Drops, drops)
+	}
+	if in.Drops() != drops {
+		t.Errorf("injector Drops() = %d, Link.Drops() = %d", in.Drops(), drops)
+	}
+}

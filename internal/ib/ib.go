@@ -124,11 +124,26 @@ type Status int
 const (
 	StatusOK Status = iota
 	StatusDropped
+	// StatusRetryExceeded completes an RC work request whose transport
+	// retry budget (QPConfig.RetryLimit) ran out — the IB equivalent of
+	// IBV_WC_RETRY_EXC_ERR. The QP transitions to the error state.
+	StatusRetryExceeded
+	// StatusFlushed completes work requests drained from a QP that is in
+	// the error state (IBV_WC_WR_FLUSH_ERR): queued and in-flight requests
+	// behind the failed one, and any request posted afterwards.
+	StatusFlushed
 )
 
 func (s Status) String() string {
-	if s == StatusOK {
+	switch s {
+	case StatusOK:
 		return "OK"
+	case StatusDropped:
+		return "DROPPED"
+	case StatusRetryExceeded:
+		return "RETRY_EXCEEDED"
+	case StatusFlushed:
+		return "FLUSHED"
 	}
-	return "DROPPED"
+	return "UNKNOWN"
 }

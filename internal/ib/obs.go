@@ -21,6 +21,8 @@ type fabObs struct {
 	rcWindow      *telemetry.Histogram // in-flight window occupancy at launch
 	rcSendQ       *telemetry.Histogram // send-queue depth behind the window
 	rcRetransmits *telemetry.Counter
+	rcGiveUps     *telemetry.Counter // retry budgets exhausted
+	qpErrors      *telemetry.Counter // QP error-state transitions
 	udRecvDrops   *telemetry.Counter
 	linkDrops     *telemetry.Counter
 
@@ -46,6 +48,8 @@ func newFabObs(tel *telemetry.Telemetry) *fabObs {
 		rcWindow:      m.Histogram("ib.rc.window.occupancy"),
 		rcSendQ:       m.Histogram("ib.rc.sendq.depth"),
 		rcRetransmits: m.Counter("ib.rc.retransmits"),
+		rcGiveUps:     m.Counter("ib.rc.retry.exhausted"),
+		qpErrors:      m.Counter("ib.qp.errors"),
 		udRecvDrops:   m.Counter("ib.ud.recv.drops"),
 		linkDrops:     m.Counter("ib.link.drops"),
 	}

@@ -38,11 +38,19 @@ type QPConfig struct {
 	// exactly this bound ("limits the number of messages that can be in
 	// flight to a maximum supported window size", §3.2.2).
 	MaxInflight int
-	// RetryTimeout is the RC retransmission timeout; 0 selects
+	// RetryTimeout is the base RC retransmission timeout; 0 selects
 	// DefaultRetryTimeout. Retransmission only occurs under fault
 	// injection (lossy Link.DropFn), as in real IB cables bit errors are
-	// rare.
+	// rare. Successive retries of the same message back off
+	// exponentially from this base (doubling per attempt, capped at 64x).
 	RetryTimeout sim.Time
+	// RetryLimit bounds the number of retransmissions of one message
+	// before the QP gives up: the failed work request completes with
+	// StatusRetryExceeded and the QP transitions to the error state,
+	// flushing everything behind it (StatusFlushed). 0 selects
+	// DefaultRetryLimit; a negative value retries forever (the
+	// pre-fault-layer behavior, useful only in tests).
+	RetryLimit int
 }
 
 // DefaultMaxInflight is the default RC send window in messages, calibrated
@@ -52,6 +60,13 @@ const DefaultMaxInflight = 8
 
 // DefaultRetryTimeout is the default RC retransmission timeout.
 const DefaultRetryTimeout = 500 * sim.Millisecond
+
+// DefaultRetryLimit is the default RC retry budget, matching the 3-bit
+// retry counter (max 7) real HCAs program into the QP.
+const DefaultRetryLimit = 7
+
+// maxBackoffShift caps the exponential retry backoff at base << 6 (64x).
+const maxBackoffShift = 6
 
 // SendWR is a send-side work request.
 type SendWR struct {
@@ -163,6 +178,12 @@ type Stats struct {
 	RecvDrops    int64 // UD datagrams dropped for lack of a recv
 	Retransmits  int64
 	ReadRequests int64
+	// RetryExhausted counts work requests completed with
+	// StatusRetryExceeded (retry budget ran out).
+	RetryExhausted int64
+	// Flushed counts work requests completed with StatusFlushed after the
+	// QP entered the error state.
+	Flushed int64
 }
 
 // QP is a queue pair.
@@ -174,6 +195,11 @@ type QP struct {
 
 	// RC connection state.
 	remote *QP
+	// errored is the QP error state: set when a message exhausts its
+	// retry budget. An errored QP completes every queued, in-flight and
+	// subsequently posted work request with StatusFlushed and ignores
+	// arriving packets, exactly like a real QP in IBV_QPS_ERR.
+	errored bool
 
 	// Sender state.
 	sendQ    sim.Ring[*transfer]
@@ -210,6 +236,9 @@ func (h *HCA) CreateQP(cq *CQ, cfg QPConfig) *QP {
 	}
 	if cfg.RetryTimeout == 0 {
 		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	if cfg.RetryLimit == 0 {
+		cfg.RetryLimit = DefaultRetryLimit
 	}
 	h.fab.nextQPN++
 	qp := &QP{hca: h, qpn: h.fab.nextQPN, cfg: cfg, cq: cq,
@@ -266,6 +295,12 @@ func (q *QP) CQ() *CQ { return q.cq }
 
 // Stats returns a snapshot of the QP's counters.
 func (q *QP) Stats() Stats { return q.stats }
+
+// Errored reports whether the QP is in the error state (a message
+// exhausted its retry budget). An errored QP never recovers; upper layers
+// observe the transition through StatusRetryExceeded/StatusFlushed
+// completions and must tear down or fail over.
+func (q *QP) Errored() bool { return q.errored }
 
 // Config returns the QP configuration.
 func (q *QP) Config() QPConfig { return q.cfg }

@@ -2,6 +2,7 @@ package ib
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/telemetry"
 )
@@ -10,6 +11,13 @@ import (
 // the window allows.
 func (q *QP) rcPostSend(wr SendWR) {
 	q.assertConnected()
+	if q.errored {
+		// QP in the error state: the request is flushed immediately
+		// without touching the wire or the sequence space.
+		q.stats.Flushed++
+		q.cq.post(Completion{Op: wr.Op, Status: StatusFlushed, Bytes: wr.payloadLen(), Ctx: wr.Ctx, QPN: q.qpn})
+		return
+	}
 	size := wr.payloadLen()
 	switch wr.Op {
 	case OpSend:
@@ -58,6 +66,9 @@ func (q *QP) rcPostSend(wr SendWR) {
 
 // kick launches queued transfers while the in-flight window has room.
 func (q *QP) kick() {
+	if q.errored {
+		return
+	}
 	obs := q.hca.fab.obs
 	for len(q.inflight) < q.cfg.MaxInflight && q.sendQ.Len() > 0 {
 		t := q.sendQ.Pop()
@@ -136,11 +147,24 @@ func (q *QP) sendDataPackets(port *Port, dst *QP, t *transfer, kind pktKind) {
 // timer captures the transfer id, not the transfer: ids are never reused,
 // so a transfer acked and recycled during the (long) timeout is simply
 // absent from the inflight map, and the timer holds nothing alive.
+//
+// Each retry doubles the timeout (capped at base << maxBackoffShift) and
+// spends one unit of the QP's retry budget; when the budget runs out the
+// transfer completes with StatusRetryExceeded and the QP errors instead
+// of retransmitting forever (see retryExhausted).
 func (q *QP) armRetry(t *transfer) {
 	id := t.id
-	q.env().At(q.cfg.RetryTimeout, func() {
+	shift := t.retried
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	q.env().At(q.cfg.RetryTimeout<<shift, func() {
 		t, still := q.inflight[id]
-		if !still || t.acked {
+		if !still || t.acked || q.errored {
+			return
+		}
+		if q.cfg.RetryLimit >= 0 && t.retried >= q.cfg.RetryLimit {
+			q.retryExhausted(t)
 			return
 		}
 		t.retried++
@@ -153,8 +177,61 @@ func (q *QP) armRetry(t *transfer) {
 	})
 }
 
+// retryExhausted is the QP error transition: the transfer that ran out of
+// retries completes with StatusRetryExceeded, then every other in-flight
+// and queued work request flushes with StatusFlushed (in-flight first in
+// posting order, then the send queue in order), exactly the completion
+// stream a real HCA delivers when a QP enters the error state. The QP
+// stays errored; later posts flush immediately in rcPostSend.
+func (q *QP) retryExhausted(t *transfer) {
+	q.errored = true
+	q.stats.RetryExhausted++
+	if obs := q.hca.fab.obs; obs != nil {
+		obs.rcGiveUps.Add(1)
+		obs.qpErrors.Add(1)
+	}
+	q.traceGiveUp(t)
+	delete(q.inflight, t.id)
+	t.acked = true // poison against late acks from earlier attempts
+	q.endVerbsSpan(t)
+	q.cq.post(Completion{Op: t.wr.Op, Status: StatusRetryExceeded, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	t.senderDone = true
+	q.hca.fab.maybeFree(t)
+	// Flush the rest of the in-flight window in posting (id) order — map
+	// iteration order would be nondeterministic.
+	ids := make([]int64, 0, len(q.inflight))
+	for id := range q.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		q.flushTransfer(q.inflight[id])
+	}
+	for q.sendQ.Len() > 0 {
+		q.flushTransfer(q.sendQ.Pop())
+	}
+}
+
+// flushTransfer error-completes one work request of an errored QP.
+func (q *QP) flushTransfer(t *transfer) {
+	delete(q.inflight, t.id)
+	t.acked = true
+	q.stats.Flushed++
+	q.endVerbsSpan(t)
+	q.cq.post(Completion{Op: t.wr.Op, Status: StatusFlushed, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
+	t.senderDone = true
+	q.hca.fab.maybeFree(t)
+}
+
 // rcReceive handles an arriving RC packet.
 func (q *QP) rcReceive(pkt *packet) {
+	if q.errored {
+		// A QP in the error state silently discards arriving packets; in
+		// particular a late ack for an attempt that did get through must
+		// not complete a request already flushed in error. The caller
+		// recycles the packet.
+		return
+	}
 	switch pkt.kind {
 	case pktData:
 		q.rcData(pkt, false)

@@ -14,7 +14,7 @@ import (
 // expiries (rto).
 type TraceEvent struct {
 	Time  sim.Time `json:"t"`
-	Kind  string   `json:"kind"` // tx, rx, drop, rto
+	Kind  string   `json:"kind"` // tx, rx, drop, rto, err
 	Src   LID      `json:"src"`
 	Dst   LID      `json:"dst"`
 	SrcQP int      `json:"srcqp"`
@@ -31,8 +31,8 @@ type TraceEvent struct {
 	// Retx marks packets put on the wire by a retransmission.
 	Retx bool `json:"retx,omitempty"`
 	// Reason qualifies drop events ("fault": injected on the wire,
-	// "no-recv": UD datagram with no posted receive) and rto events
-	// ("timeout").
+	// "no-recv": UD datagram with no posted receive), rto events
+	// ("timeout") and err events ("retry-exceeded").
 	Reason string `json:"reason,omitempty"`
 }
 
@@ -107,6 +107,29 @@ func (q *QP) traceRTO(t *transfer) {
 		Src: q.hca.lid, Dst: q.remote.hca.lid, SrcQP: q.qpn, DstQP: q.remote.qpn,
 		Pkt: t.wr.Op.pktName(), Wire: 0, Msg: t.id, Last: true,
 		Dev: q.hca.name, Reason: "timeout",
+	}
+	if f.tracer != nil {
+		f.tracer(ev)
+	}
+	if folding {
+		f.obs.instant(q.hca, ev)
+	}
+}
+
+// traceGiveUp emits the retry-budget-exhausted event for the transfer that
+// pushed the QP into the error state. Like traceRTO it is synthesized —
+// there is no packet at budget exhaustion.
+func (q *QP) traceGiveUp(t *transfer) {
+	f := q.hca.fab
+	folding := f.obs != nil && f.obs.rec != nil
+	if f.tracer == nil && !folding {
+		return
+	}
+	ev := TraceEvent{
+		Time: f.env.Now(), Kind: "err",
+		Src: q.hca.lid, Dst: q.remote.hca.lid, SrcQP: q.qpn, DstQP: q.remote.qpn,
+		Pkt: t.wr.Op.pktName(), Wire: 0, Msg: t.id, Last: true,
+		Dev: q.hca.name, Reason: "retry-exceeded",
 	}
 	if f.tracer != nil {
 		f.tracer(ev)

@@ -106,6 +106,15 @@ func (r *Rank) startProgress() {
 	r.world.env.Go(fmt.Sprintf("mpi-prog-%d", r.id), func(p *sim.Proc) {
 		for {
 			c := r.cq.Poll(p)
+			if c.Status != ib.StatusOK {
+				// An errored completion means an RC connection exhausted
+				// its retry budget: MPI has no recovery story (as in the
+				// paper's era), so the job aborts. The panic carries a
+				// deterministic message and surfaces as the experiment
+				// point's error.
+				panic(fmt.Sprintf("mpi: rank %d: %s completed with %s (communication failure)",
+					r.id, c.Op, c.Status))
+			}
 			switch c.Op {
 			case ib.OpRecv:
 				if qp := r.byQPN[c.QPN]; qp != nil {

@@ -51,8 +51,9 @@ func NewClientOn(node *cluster.Node, t rpc.Client) *Client {
 }
 
 // call runs one RPC through the transport, spanning and timing it when
-// observation is on.
-func (c *Client) call(p *sim.Proc, name string, req *rpc.Request) (*rpc.Reply, int) {
+// observation is on. The transport error is checked before the reply is
+// touched: a failed call has no reply metadata.
+func (c *Client) call(p *sim.Proc, name string, req *rpc.Request) (*rpc.Reply, int, error) {
 	obs := c.obs
 	if obs == nil {
 		return c.t.Call(p, req)
@@ -62,14 +63,14 @@ func (c *Client) call(p *sim.Proc, name string, req *rpc.Request) (*rpc.Reply, i
 	if obs.rec != nil {
 		ref = obs.rec.StartAt(start, obs.track, name, telemetry.NoSpan)
 	}
-	reply, n := c.t.Call(p, req)
+	reply, n, err := c.t.Call(p, req)
 	now := obs.env.Now()
 	obs.calls.Add(1)
 	obs.lat.Observe(int64(now - start))
 	if obs.rec != nil {
 		obs.rec.EndAt(now, ref)
 	}
-	return reply, n
+	return reply, n, err
 }
 
 // Errors returned by client operations.
@@ -94,14 +95,16 @@ func statusErr(st uint32) error {
 
 // Null performs a no-op RPC (useful for RTT probing).
 func (c *Client) Null(p *sim.Proc) error {
-	reply, _ := c.call(p, "nfs.null", &rpc.Request{Proc: ProcNull, Meta: statusMeta(0)[:0]})
-	_ = reply
-	return nil
+	_, _, err := c.call(p, "nfs.null", &rpc.Request{Proc: ProcNull, Meta: statusMeta(0)[:0]})
+	return err
 }
 
 // Lookup resolves a name to a file handle and size.
 func (c *Client) Lookup(p *sim.Proc, name string) (uint64, int64, error) {
-	reply, _ := c.call(p, "nfs.lookup", &rpc.Request{Proc: ProcLookup, Meta: []byte(name)})
+	reply, _, err := c.call(p, "nfs.lookup", &rpc.Request{Proc: ProcLookup, Meta: []byte(name)})
+	if err != nil {
+		return 0, 0, err
+	}
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, 0, err
@@ -115,7 +118,10 @@ func (c *Client) Lookup(p *sim.Proc, name string) (uint64, int64, error) {
 func (c *Client) Getattr(p *sim.Proc, fh uint64) (int64, error) {
 	meta := make([]byte, 8)
 	binary.LittleEndian.PutUint64(meta, fh)
-	reply, _ := c.call(p, "nfs.getattr", &rpc.Request{Proc: ProcGetattr, Meta: meta})
+	reply, _, err := c.call(p, "nfs.getattr", &rpc.Request{Proc: ProcGetattr, Meta: meta})
+	if err != nil {
+		return 0, err
+	}
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -129,7 +135,10 @@ func (c *Client) Create(p *sim.Proc, name string, size int64) (uint64, error) {
 	meta := make([]byte, 8+len(name))
 	binary.LittleEndian.PutUint64(meta, uint64(size))
 	copy(meta[8:], name)
-	reply, _ := c.call(p, "nfs.create", &rpc.Request{Proc: ProcCreate, Meta: meta})
+	reply, _, err := c.call(p, "nfs.create", &rpc.Request{Proc: ProcCreate, Meta: meta})
+	if err != nil {
+		return 0, err
+	}
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -154,7 +163,10 @@ func (c *Client) Read(p *sim.Proc, fh uint64, off int64, count int, buf []byte) 
 	} else {
 		req.ReadLen = count
 	}
-	reply, n := c.call(p, "nfs.read", req)
+	reply, n, err := c.call(p, "nfs.read", req)
+	if err != nil {
+		return 0, err
+	}
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err
@@ -173,7 +185,10 @@ func (c *Client) Write(p *sim.Proc, fh uint64, off int64, data []byte, n int) (i
 	} else {
 		req.WriteLen = n
 	}
-	reply, _ := c.call(p, "nfs.write", req)
+	reply, _, err := c.call(p, "nfs.write", req)
+	if err != nil {
+		return 0, err
+	}
 	st := binary.LittleEndian.Uint32(reply.Meta)
 	if err := statusErr(st); err != nil {
 		return 0, err

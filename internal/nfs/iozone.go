@@ -77,5 +77,11 @@ func IOzone(env *sim.Env, c *Client, file string, cfg IOzoneConfig) float64 {
 		env.Stop()
 	})
 	env.Run()
+	if elapsed <= 0 {
+		// The run ended without the workload advancing virtual time (a
+		// deadlocked or instantly-failed transport): surface it instead of
+		// reporting an infinite throughput.
+		panic("nfs: iozone made no progress")
+	}
 	return float64(cfg.FileSize) / elapsed.Seconds() / 1e6
 }

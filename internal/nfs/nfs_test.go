@@ -79,7 +79,7 @@ func TestReadWriteDataRDMA(t *testing.T) {
 func TestReadWriteDataTCP(t *testing.T) {
 	for _, mode := range []ipoib.Mode{ipoib.Datagram, ipoib.Connected} {
 		env, tb := testbed(sim.Micros(10))
-		srv, cl := MountTCP(env, tb.B[0], tb.A[0], mode)
+		srv, cl, _ := MountTCP(env, tb.B[0], tb.A[0], mode)
 		content := make([]byte, 30000)
 		rand.New(rand.NewSource(6)).Read(content)
 		srv.AddFile("data", append([]byte(nil), content...))
@@ -170,14 +170,14 @@ func TestRDMABeatsTCPAtModerateDelay(t *testing.T) {
 	tcpRC := func() float64 {
 		env, tb := testbed(sim.Micros(100))
 		defer env.Shutdown()
-		srv, cl := MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+		srv, cl, _ := MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
 		srv.AddSyntheticFile("f", 64<<20)
 		return IOzone(env, cl, "f", IOzoneConfig{FileSize: 64 << 20, Threads: 8})
 	}()
 	tcpUD := func() float64 {
 		env, tb := testbed(sim.Micros(100))
 		defer env.Shutdown()
-		srv, cl := MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
+		srv, cl, _ := MountTCP(env, tb.B[0], tb.A[0], ipoib.Datagram)
 		srv.AddSyntheticFile("f", 64<<20)
 		return IOzone(env, cl, "f", IOzoneConfig{FileSize: 64 << 20, Threads: 8})
 	}()
@@ -199,7 +199,7 @@ func TestIPoIBRCBestAtHighDelay(t *testing.T) {
 	tcpRC := func() float64 {
 		env, tb := testbed(sim.Micros(1000))
 		defer env.Shutdown()
-		srv, cl := MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
+		srv, cl, _ := MountTCP(env, tb.B[0], tb.A[0], ipoib.Connected)
 		srv.AddSyntheticFile("f", 32<<20)
 		return IOzone(env, cl, "f", IOzoneConfig{FileSize: 32 << 20, Threads: 8})
 	}()

@@ -5,6 +5,8 @@
 package perftest
 
 import (
+	"fmt"
+
 	"repro/internal/ib"
 	"repro/internal/sim"
 )
@@ -18,8 +20,16 @@ func SendLatency(env *sim.Env, a, b *ib.HCA, tr ib.Transport, size, iters int) s
 	if tr == ib.UD {
 		return udLatency(env, a, b, size, iters)
 	}
-	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{})
+	return PingRC(env, a, b, size, iters, ib.QPConfig{})
+}
+
+// PingRC is SendLatency over RC with an explicit QP configuration — the
+// knob the fault-injected experiments use to trade the retry budget
+// (QPConfig.RetryLimit, RetryTimeout) against loss rate.
+func PingRC(env *sim.Env, a, b *ib.HCA, size, iters int, qcfg ib.QPConfig) sim.Time {
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, qcfg)
 	var total sim.Time
+	completed := false
 	env.Go("lat-b", func(p *sim.Proc) {
 		for i := 0; i < iters; i++ {
 			qb.PostRecv(ib.RecvWR{})
@@ -36,10 +46,12 @@ func SendLatency(env *sim.Env, a, b *ib.HCA, tr ib.Transport, size, iters int) s
 			waitFor(p, qa.CQ(), ib.OpRecv)
 		}
 		total = p.Now() - start
+		completed = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "PingRC")
 	return total / sim.Time(2*iters)
 }
 
@@ -48,6 +60,7 @@ func udLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
 	qa := a.CreateQP(cqa, ib.QPConfig{Transport: ib.UD})
 	qb := b.CreateQP(cqb, ib.QPConfig{Transport: ib.UD})
 	var total sim.Time
+	completed := false
 	env.Go("lat-b", func(p *sim.Proc) {
 		for i := 0; i < iters; i++ {
 			qb.PostRecv(ib.RecvWR{})
@@ -63,10 +76,12 @@ func udLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
 			waitFor(p, cqa, ib.OpRecv)
 		}
 		total = p.Now() - start
+		completed = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "SendLatency(UD)")
 	return total / sim.Time(2*iters)
 }
 
@@ -78,6 +93,7 @@ func WriteLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
 	mra := a.RegisterVirtualMR(size)
 	mrb := b.RegisterVirtualMR(size)
 	var total sim.Time
+	completed := false
 	env.Go("wlat-b", func(p *sim.Proc) {
 		for i := 0; i < iters; i++ {
 			waitNotify(p, qb.CQ()) // peer's write landed
@@ -91,11 +107,32 @@ func WriteLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
 			waitNotify(p, qa.CQ()) // peer's response write
 		}
 		total = p.Now() - start
+		completed = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "WriteLatency")
 	return total / sim.Time(2*iters)
+}
+
+// checkStatus aborts the benchmark on an errored completion: the RC
+// connection's retry budget ran out, so the measurement cannot finish. The
+// panic carries a deterministic message and surfaces as the experiment
+// point's error.
+func checkStatus(c ib.Completion) {
+	if c.Status != ib.StatusOK {
+		panic(fmt.Sprintf("perftest: %s completed with %s (communication failure)", c.Op, c.Status))
+	}
+}
+
+// checkCompleted aborts after env.Run returned without the measurement
+// finishing — the run went quiet (every in-flight packet lost, nothing
+// left to schedule) without an error completion to pin it on.
+func checkCompleted(completed bool, name string) {
+	if !completed {
+		panic(fmt.Sprintf("perftest: %s did not complete (communication failure)", name))
+	}
 }
 
 // waitFor polls the CQ until a completion with the given opcode appears.
@@ -104,6 +141,7 @@ func WriteLatency(env *sim.Env, a, b *ib.HCA, size, iters int) sim.Time {
 func waitFor(p *sim.Proc, cq *ib.CQ, op ib.Opcode) ib.Completion {
 	for {
 		c := cq.Poll(p)
+		checkStatus(c)
 		if c.Op == op {
 			return c
 		}
@@ -116,6 +154,7 @@ func waitFor(p *sim.Proc, cq *ib.CQ, op ib.Opcode) ib.Completion {
 func waitNotify(p *sim.Proc, cq *ib.CQ) ib.Completion {
 	for {
 		c := cq.Poll(p)
+		checkStatus(c)
 		if c.Op == ib.OpRDMAWrite && c.SrcLID != 0 {
 			return c
 		}
@@ -125,8 +164,17 @@ func waitNotify(p *sim.Proc, cq *ib.CQ) ib.Completion {
 // BandwidthRC measures one-way RC streaming bandwidth (MillionBytes/s) for
 // the given message size, sending count messages.
 func BandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 {
-	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{MaxInflight: window})
+	return StreamRC(env, a, b, size, count, ib.QPConfig{MaxInflight: window})
+}
+
+// StreamRC is BandwidthRC with an explicit QP configuration — the
+// fault-injected experiments pass a generous RetryLimit with a short
+// RetryTimeout so packet loss costs time instead of killing the
+// connection.
+func StreamRC(env *sim.Env, a, b *ib.HCA, size, count int, qcfg ib.QPConfig) float64 {
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, qcfg)
 	var elapsed sim.Time
+	completed := false
 	done := env.NewEvent()
 	env.Go("bw-recv", func(p *sim.Proc) {
 		for i := 0; i < count; i++ {
@@ -147,10 +195,12 @@ func BandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 {
 		}
 		p.Wait(done)
 		elapsed = p.Now() - start
+		completed = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "StreamRC")
 	return float64(size) * float64(count) / elapsed.Seconds() / 1e6
 }
 
@@ -167,6 +217,7 @@ func BiBandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 
 		sends, recvs := 0, 0
 		for sends < count || recvs < count {
 			c := q.CQ().Poll(p)
+			checkStatus(c)
 			switch c.Op {
 			case ib.OpSend:
 				sends++
@@ -176,15 +227,18 @@ func BiBandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 
 		}
 	}
 	var elapsed sim.Time
+	completed := false
 	env.Go("bibw-b", func(p *sim.Proc) { finish(p, qb) })
 	env.Go("bibw-a", func(p *sim.Proc) {
 		start := p.Now()
 		finish(p, qa)
 		elapsed = p.Now() - start
+		completed = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "BiBandwidthRC")
 	return 2 * float64(size) * float64(count) / elapsed.Seconds() / 1e6
 }
 
@@ -197,6 +251,7 @@ func BandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
 	qa := a.CreateQP(cqa, ib.QPConfig{Transport: ib.UD})
 	qb := b.CreateQP(cqb, ib.QPConfig{Transport: ib.UD})
 	var window sim.Time
+	completed := false
 	env.Go("udbw-recv", func(p *sim.Proc) {
 		for i := 0; i < count; i++ {
 			qb.PostRecv(ib.RecvWR{})
@@ -209,6 +264,7 @@ func BandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
 			}
 		}
 		window = p.Now() - first
+		completed = true
 		env.Stop()
 	})
 	env.Go("udbw-send", func(p *sim.Proc) {
@@ -218,6 +274,7 @@ func BandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(completed, "BandwidthUD")
 	return float64(size) * float64(count-1) / window.Seconds() / 1e6
 }
 
@@ -264,5 +321,6 @@ func BiBandwidthUD(env *sim.Env, a, b *ib.HCA, size, count int) float64 {
 	})
 	env.Run()
 	env.Shutdown()
+	checkCompleted(left == 0, "BiBandwidthUD")
 	return ra + rb
 }

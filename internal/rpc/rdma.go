@@ -1,6 +1,9 @@
 package rpc
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/cluster"
 	"repro/internal/ib"
 	"repro/internal/sim"
@@ -39,15 +42,22 @@ type RDMAClient struct {
 	env     *sim.Env
 	node    *cluster.Node
 	qp      *ib.QP
+	policy  Policy
 	nextXID uint64
 	pending map[uint64]*rdmaCall
+	// err, once set, is the transport's terminal failure: the RC
+	// connection's retry budget ran out and the QP moved to the error
+	// state, so every pending and future call fails with it.
+	err error
 }
 
 type rdmaCall struct {
+	xid   uint64
 	done  *sim.Event
 	req   *Request
 	reply *Reply
 	bulkN int
+	err   error
 }
 
 // RDMAServer is the server side of the RDMA transport.
@@ -78,6 +88,18 @@ func ServeRDMA(node *cluster.Node, threads int, h Handler) *RDMAServer {
 	env.Go("rpc-rdma-server", func(p *sim.Proc) {
 		for {
 			c := s.cq.Poll(p)
+			if c.Status != ib.StatusOK {
+				// Errored connection: a flushed receive carries no call,
+				// but a failed fragment must still count down its group or
+				// the handler waiting on it would hang forever.
+				if g, ok := c.Ctx.(*fragGroup); ok {
+					g.remaining--
+					if g.remaining == 0 {
+						g.done.Trigger(nil)
+					}
+				}
+				continue
+			}
 			switch c.Op {
 			case ib.OpRecv:
 				s.repostByQPN(c.QPN)
@@ -199,6 +221,14 @@ func NewRDMAClient(node *cluster.Node, srv *RDMAServer) *RDMAClient {
 	env.Go("rpc-rdma-client", func(p *sim.Proc) {
 		for {
 			comp := cq.Poll(p)
+			if comp.Status != ib.StatusOK {
+				// The RC connection gave up (retry budget exhausted) and
+				// flushed its queues: the transport is dead. Fail
+				// everything pending; further error completions drain
+				// through fail as no-ops.
+				c.fail(comp.Status)
+				continue
+			}
 			if comp.Op != ib.OpRecv {
 				continue
 			}
@@ -208,7 +238,9 @@ func NewRDMAClient(node *cluster.Node, srv *RDMAServer) *RDMAClient {
 				continue
 			}
 			call := c.pending[w.xid]
-			check(call != nil, "RDMA reply for unknown XID")
+			if call == nil {
+				continue // late reply for a timed-out call
+			}
 			delete(c.pending, w.xid)
 			call.reply = &Reply{Meta: w.meta, BulkLen: w.bulkLen}
 			call.bulkN = w.bulkLen
@@ -221,10 +253,55 @@ func NewRDMAClient(node *cluster.Node, srv *RDMAServer) *RDMAClient {
 	return c
 }
 
+// SetPolicy installs the client's call timeout policy (an NFS mount's
+// timeo/retrans options). The zero Policy — the default — arms no timers.
+func (c *RDMAClient) SetPolicy(pol Policy) { c.policy = pol }
+
+// fail marks the transport dead and fails every pending call, in XID order
+// so faulted output is deterministic regardless of map iteration.
+func (c *RDMAClient) fail(st ib.Status) {
+	if c.err == nil {
+		c.err = fmt.Errorf("rpc: rdma transport failure: %s", st)
+	}
+	xids := make([]uint64, 0, len(c.pending))
+	for xid := range c.pending {
+		xids = append(xids, xid)
+	}
+	sort.Slice(xids, func(i, j int) bool { return xids[i] < xids[j] })
+	for _, xid := range xids {
+		call := c.pending[xid]
+		delete(c.pending, xid)
+		call.err = c.err
+		call.done.Trigger(nil)
+	}
+}
+
+// armTimeout schedules the per-attempt reply timeout for a call: each
+// expiry re-sends the header message (same XID), or fails the call with
+// ErrTimeout once a soft policy's budget is spent.
+func (c *RDMAClient) armTimeout(call *rdmaCall, w *rdmaWire, tries int) {
+	c.env.At(c.policy.Timeout, func() {
+		if call.done.Triggered() {
+			return
+		}
+		if !c.policy.Hard && tries >= c.policy.Retrans {
+			delete(c.pending, call.xid)
+			call.err = ErrTimeout
+			call.done.Trigger(nil)
+			return
+		}
+		c.qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: CtrlWire(len(call.req.Meta)), Meta: w})
+		c.armTimeout(call, w, tries+1)
+	})
+}
+
 // Call implements Client.
-func (c *RDMAClient) Call(p *sim.Proc, req *Request) (*Reply, int) {
+func (c *RDMAClient) Call(p *sim.Proc, req *Request) (*Reply, int, error) {
+	if c.err != nil {
+		return nil, 0, c.err
+	}
 	c.nextXID++
-	call := &rdmaCall{done: c.env.NewEvent(), req: req}
+	call := &rdmaCall{xid: c.nextXID, done: c.env.NewEvent(), req: req}
 	c.pending[c.nextXID] = call
 	w := &rdmaWire{
 		xid: c.nextXID, proc: req.Proc, meta: req.Meta,
@@ -245,6 +322,12 @@ func (c *RDMAClient) Call(p *sim.Proc, req *Request) (*Reply, int) {
 		}
 	}
 	c.qp.PostSend(ib.SendWR{Op: ib.OpSend, Len: CtrlWire(len(req.Meta)), Meta: w})
+	if c.policy.Timeout > 0 {
+		c.armTimeout(call, w, 0)
+	}
 	p.Wait(call.done)
-	return call.reply, call.bulkN
+	if call.err != nil {
+		return nil, 0, call.err
+	}
+	return call.reply, call.bulkN, nil
 }

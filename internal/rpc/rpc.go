@@ -16,10 +16,32 @@ package rpc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
 )
+
+// ErrTimeout reports that a call exhausted its retransmission budget (a
+// soft mount's op timeout). The value is fixed so faulted experiment output
+// stays deterministic.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// Policy bounds how long a client waits for replies. The zero value —
+// no RPC-layer timers at all, relying on the transport's own recovery —
+// is the default; fault-free runs schedule no extra events.
+type Policy struct {
+	// Timeout is the per-attempt reply timeout; 0 disables RPC-layer
+	// timeouts entirely.
+	Timeout sim.Time
+	// Retrans is the number of retransmissions after the first timeout
+	// before the call fails with ErrTimeout (soft-mount semantics).
+	Retrans int
+	// Hard retries timed-out calls forever (hard-mount semantics).
+	// Transport failures — a reset TCP connection, an errored QP — still
+	// fail calls immediately: retrying a dead transport cannot succeed.
+	Hard bool
+}
 
 // Fragment is the RDMA direct-data-placement chunk size.
 const Fragment = 4096
@@ -78,8 +100,12 @@ type Handler func(p *sim.Proc, req *Request) *Reply
 type Client interface {
 	// Call performs the RPC, blocking the calling process until the reply
 	// (and any bulk data) has arrived. It returns the reply metadata and
-	// the number of bulk bytes placed into ReadBuf.
-	Call(p *sim.Proc, req *Request) (*Reply, int)
+	// the number of bulk bytes placed into ReadBuf. Under fault injection
+	// a call can fail instead: with ErrTimeout when the client's Policy
+	// budget runs out, or with the transport's terminal error when the
+	// connection underneath dies. The reply is nil exactly when the error
+	// is non-nil.
+	Call(p *sim.Proc, req *Request) (*Reply, int, error)
 }
 
 // marshalHeader/unmarshalHeader frame the fixed fields.

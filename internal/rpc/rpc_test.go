@@ -54,11 +54,21 @@ func TestTCPTransportEcho(t *testing.T) {
 	payload := make([]byte, 100000)
 	rand.New(rand.NewSource(2)).Read(payload)
 	env.Go("client", func(p *sim.Proc) {
-		cl := NewTCPClient(p, cs, ss.Addr(), 9999)
+		cl, err := NewTCPClient(p, cs, ss.Addr(), 9999)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			env.Stop()
+			return
+		}
 		buf := make([]byte, len(payload))
-		reply, n := cl.Call(p, &Request{
+		reply, n, err := cl.Call(p, &Request{
 			Proc: 7, Meta: []byte("abc"), WriteBulk: payload, ReadBuf: buf,
 		})
+		if err != nil {
+			t.Errorf("call: %v", err)
+			env.Stop()
+			return
+		}
 		if string(reply.Meta) != "cba" {
 			t.Errorf("meta = %q", reply.Meta)
 		}
@@ -85,13 +95,18 @@ func TestTCPConcurrentCallsXIDMatching(t *testing.T) {
 	const calls = 5
 	results := make([]byte, calls)
 	env.Go("main", func(p *sim.Proc) {
-		cl := NewTCPClient(p, cs, ss.Addr(), 9999)
+		cl, err := NewTCPClient(p, cs, ss.Addr(), 9999)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			env.Stop()
+			return
+		}
 		done := env.NewEvent()
 		left := calls
 		for i := 0; i < calls; i++ {
 			i := i
 			env.Go("call", func(pc *sim.Proc) {
-				reply, _ := cl.Call(pc, &Request{Proc: 1, Meta: []byte{byte(i)}})
+				reply, _, _ := cl.Call(pc, &Request{Proc: 1, Meta: []byte{byte(i)}})
 				results[i] = reply.Meta[0]
 				if left--; left == 0 {
 					done.Trigger(nil)
@@ -118,9 +133,14 @@ func TestRDMATransportEcho(t *testing.T) {
 	rand.New(rand.NewSource(3)).Read(payload)
 	env.Go("client", func(p *sim.Proc) {
 		buf := make([]byte, len(payload))
-		reply, n := cl.Call(p, &Request{
+		reply, n, err := cl.Call(p, &Request{
 			Proc: 9, Meta: []byte("xyz"), WriteBulk: payload, ReadBuf: buf,
 		})
+		if err != nil {
+			t.Errorf("call: %v", err)
+			env.Stop()
+			return
+		}
 		if string(reply.Meta) != "zyx" {
 			t.Errorf("meta = %q", reply.Meta)
 		}
@@ -142,7 +162,7 @@ func TestRDMAFragmentation(t *testing.T) {
 	})
 	cl := NewRDMAClient(tb.A[0], srv)
 	env.Go("client", func(p *sim.Proc) {
-		_, n := cl.Call(p, &Request{Proc: 1, Meta: []byte{0}, ReadLen: 10000})
+		_, n, _ := cl.Call(p, &Request{Proc: 1, Meta: []byte{0}, ReadLen: 10000})
 		if n != 10000 {
 			t.Errorf("bulk n = %d", n)
 		}
@@ -166,7 +186,7 @@ func TestRDMAMultipleClients(t *testing.T) {
 		i := i
 		cl := NewRDMAClient(tb.A[i], srv)
 		env.Go("client", func(p *sim.Proc) {
-			reply, _ := cl.Call(p, &Request{Proc: 1, Meta: []byte{byte(i), 99}})
+			reply, _, _ := cl.Call(p, &Request{Proc: 1, Meta: []byte{byte(i), 99}})
 			oks[i] = len(reply.Meta) == 2 && reply.Meta[1] == byte(i)
 			if left--; left == 0 {
 				done.Trigger(nil)

@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"sort"
+
 	"repro/internal/ib"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -12,9 +14,13 @@ import (
 type TCPClient struct {
 	env     *sim.Env
 	conn    *tcpsim.Conn
+	policy  Policy
 	nextXID uint64
 	pending map[uint64]*tcpCall
 	writeQ  *sim.Queue[*tcpCall]
+	// err, once set, is the transport's terminal failure: the connection
+	// underneath reset, so every pending and future call fails with it.
+	err error
 }
 
 type tcpCall struct {
@@ -23,46 +29,83 @@ type tcpCall struct {
 	req   *Request
 	reply *Reply
 	bulkN int
+	err   error
 }
 
 // NewTCPClient connects to the RPC server at (addr, port) over the stack.
-func NewTCPClient(p *sim.Proc, stack *tcpsim.Stack, addr ib.LID, port int) *TCPClient {
-	conn := stack.Dial(p, addr, port)
+// Under fault injection the dial itself can fail (handshake retry budget
+// exhausted).
+func NewTCPClient(p *sim.Proc, stack *tcpsim.Stack, addr ib.LID, port int) (*TCPClient, error) {
+	conn, err := stack.Dial(p, addr, port)
+	if err != nil {
+		return nil, err
+	}
 	c := &TCPClient{
 		env:     stack.Env(),
 		conn:    conn,
 		pending: make(map[uint64]*tcpCall),
 		writeQ:  sim.NewQueue[*tcpCall](stack.Env(), 0),
 	}
-	// Writer: serializes request framing onto the shared connection.
+	// Writer: serializes request framing onto the shared connection. A
+	// write error means the connection reset underneath us; the transport
+	// is dead and the writer exits.
 	c.env.Go("rpc-tcp-writer", func(pw *sim.Proc) {
 		for {
 			call := c.writeQ.Get(pw)
 			req := call.req
 			hdr := marshalHeader(call.xid, req.Proc, len(req.Meta), req.writeLen(), req.readCap())
-			c.conn.Write(pw, hdr)
-			if len(req.Meta) > 0 {
-				c.conn.Write(pw, req.Meta)
+			if err := c.conn.Write(pw, hdr); err != nil {
+				c.fail(err)
+				return
 			}
+			if len(req.Meta) > 0 {
+				if err := c.conn.Write(pw, req.Meta); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+			var err error
 			if req.WriteBulk != nil {
-				c.conn.Write(pw, req.WriteBulk)
+				err = c.conn.Write(pw, req.WriteBulk)
 			} else if req.WriteLen > 0 {
-				c.conn.WriteSynthetic(pw, req.WriteLen)
+				err = c.conn.WriteSynthetic(pw, req.WriteLen)
+			}
+			if err != nil {
+				c.fail(err)
+				return
 			}
 		}
 	})
-	// Reader: demultiplexes replies by XID.
+	// Reader: demultiplexes replies by XID. A reply whose XID is no longer
+	// pending (the call already timed out and was retransmitted or failed)
+	// is consumed and discarded, as the kernel RPC layer does.
 	c.env.Go("rpc-tcp-reader", func(pr *sim.Proc) {
 		for {
-			hdr := c.conn.ReadFull(pr, headerBytes)
+			hdr, err := c.conn.ReadFull(pr, headerBytes)
+			if err != nil {
+				c.fail(err)
+				return
+			}
 			xid, _, metaLen, bulkLen, _ := unmarshalHeader(hdr)
-			meta := c.conn.ReadFull(pr, metaLen)
+			meta, err := c.conn.ReadFull(pr, metaLen)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			var bulk []byte
+			if bulkLen > 0 {
+				if bulk, err = c.conn.ReadFull(pr, bulkLen); err != nil {
+					c.fail(err)
+					return
+				}
+			}
 			call := c.pending[xid]
-			check(call != nil, "reply for unknown XID")
+			if call == nil {
+				continue // late reply for a timed-out call
+			}
 			delete(c.pending, xid)
 			n := 0
 			if bulkLen > 0 {
-				bulk := c.conn.ReadFull(pr, bulkLen)
 				if call.req.ReadBuf != nil {
 					n = copy(call.req.ReadBuf, bulk)
 				} else {
@@ -74,18 +117,69 @@ func NewTCPClient(p *sim.Proc, stack *tcpsim.Stack, addr ib.LID, port int) *TCPC
 			call.done.Trigger(nil)
 		}
 	})
-	return c
+	return c, nil
+}
+
+// SetPolicy installs the client's call timeout policy (an NFS mount's
+// timeo/retrans options). The zero Policy — the default — arms no timers.
+func (c *TCPClient) SetPolicy(pol Policy) { c.policy = pol }
+
+// fail marks the transport dead and fails every pending call, in XID order
+// so faulted output is deterministic regardless of map iteration.
+func (c *TCPClient) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	xids := make([]uint64, 0, len(c.pending))
+	for xid := range c.pending {
+		xids = append(xids, xid)
+	}
+	sort.Slice(xids, func(i, j int) bool { return xids[i] < xids[j] })
+	for _, xid := range xids {
+		call := c.pending[xid]
+		delete(c.pending, xid)
+		call.err = c.err
+		call.done.Trigger(nil)
+	}
+}
+
+// armTimeout schedules the per-attempt reply timeout for a call. Each
+// expiry either retransmits the request frame (same XID, like ONC RPC) or
+// — once a soft policy's budget is spent — fails the call with ErrTimeout.
+func (c *TCPClient) armTimeout(call *tcpCall, tries int) {
+	c.env.At(c.policy.Timeout, func() {
+		if call.done.Triggered() {
+			return
+		}
+		if !c.policy.Hard && tries >= c.policy.Retrans {
+			delete(c.pending, call.xid)
+			call.err = ErrTimeout
+			call.done.Trigger(nil)
+			return
+		}
+		c.writeQ.TryPut(call)
+		c.armTimeout(call, tries+1)
+	})
 }
 
 // Call implements Client. Multiple processes may call concurrently; the
 // transport multiplexes by XID.
-func (c *TCPClient) Call(p *sim.Proc, req *Request) (*Reply, int) {
+func (c *TCPClient) Call(p *sim.Proc, req *Request) (*Reply, int, error) {
+	if c.err != nil {
+		return nil, 0, c.err
+	}
 	c.nextXID++
 	call := &tcpCall{xid: c.nextXID, done: c.env.NewEvent(), req: req}
 	c.pending[call.xid] = call
 	c.writeQ.TryPut(call)
+	if c.policy.Timeout > 0 {
+		c.armTimeout(call, 0)
+	}
 	p.Wait(call.done)
-	return call.reply, call.bulkN
+	if call.err != nil {
+		return nil, 0, call.err
+	}
+	return call.reply, call.bulkN, nil
 }
 
 // TCPServer accepts RPC connections and dispatches each call to the
@@ -111,7 +205,10 @@ func ServeTCP(stack *tcpsim.Stack, port int, threads int, h Handler) *TCPServer 
 	ln := stack.Listen(port)
 	stack.Env().Go("rpc-tcp-accept", func(p *sim.Proc) {
 		for {
-			conn := ln.Accept(p)
+			conn, err := ln.Accept(p)
+			if err != nil {
+				continue // stillborn connection; keep serving
+			}
 			s.serveConn(conn)
 		}
 	})
@@ -121,30 +218,48 @@ func ServeTCP(stack *tcpsim.Stack, port int, threads int, h Handler) *TCPServer 
 func (s *TCPServer) serveConn(conn *tcpsim.Conn) {
 	env := s.stack.Env()
 	replies := sim.NewQueue[*tcpReply](env, 0)
-	// Reply writer: serializes reply frames.
+	// Reply writer: serializes reply frames. A dead connection ends the
+	// writer; in-flight handler results are dropped, as a real server's
+	// would be once the socket errors.
 	env.Go("rpc-tcp-replier", func(p *sim.Proc) {
 		for {
 			r := replies.Get(p)
 			hdr := marshalHeader(r.xid, r.proc, len(r.reply.Meta), r.reply.bulkLen(), 0)
-			conn.Write(p, hdr)
-			if len(r.reply.Meta) > 0 {
-				conn.Write(p, r.reply.Meta)
+			if err := conn.Write(p, hdr); err != nil {
+				return
 			}
+			if len(r.reply.Meta) > 0 {
+				if err := conn.Write(p, r.reply.Meta); err != nil {
+					return
+				}
+			}
+			var err error
 			if r.reply.Bulk != nil {
-				conn.Write(p, r.reply.Bulk)
+				err = conn.Write(p, r.reply.Bulk)
 			} else if r.reply.BulkLen > 0 {
-				conn.WriteSynthetic(p, r.reply.BulkLen)
+				err = conn.WriteSynthetic(p, r.reply.BulkLen)
+			}
+			if err != nil {
+				return
 			}
 		}
 	})
 	env.Go("rpc-tcp-serve", func(p *sim.Proc) {
 		for {
-			hdr := conn.ReadFull(p, headerBytes)
+			hdr, err := conn.ReadFull(p, headerBytes)
+			if err != nil {
+				return
+			}
 			xid, proc, metaLen, bulkLen, readLen := unmarshalHeader(hdr)
-			meta := conn.ReadFull(p, metaLen)
+			meta, err := conn.ReadFull(p, metaLen)
+			if err != nil {
+				return
+			}
 			var bulk []byte
 			if bulkLen > 0 {
-				bulk = conn.ReadFull(p, bulkLen)
+				if bulk, err = conn.ReadFull(p, bulkLen); err != nil {
+					return
+				}
 			}
 			req := &Request{Proc: proc, Meta: meta, WriteBulk: bulk, ReadLen: readLen}
 			env.Go("rpc-tcp-handler", func(ph *sim.Proc) {

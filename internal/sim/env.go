@@ -21,6 +21,7 @@ type Env struct {
 	executed int64              // heap entries dispatched so far
 	evFree   []*Event           // recycled Events (see AcquireEvent)
 	tel      any                // opaque telemetry attachment (see SetTelemetry)
+	flt      any                // opaque fault-plan attachment (see SetFault)
 }
 
 // NewEnv creates an empty simulation environment with the clock at zero.
@@ -43,6 +44,15 @@ func (e *Env) SetTelemetry(t any) { e.tel = t }
 
 // Telemetry returns the attachment installed by SetTelemetry (nil if none).
 func (e *Env) Telemetry() any { return e.tel }
+
+// SetFault attaches an opaque fault-injection plan to the environment, the
+// same way SetTelemetry carries the observability handle: the kernel never
+// inspects it, and layers that can arm faults (the WAN link, the TCP stack)
+// retrieve it with Fault and type-assert. See the fault package.
+func (e *Env) SetFault(f any) { e.flt = f }
+
+// Fault returns the attachment installed by SetFault (nil if none).
+func (e *Env) Fault() any { return e.flt }
 
 // push enqueues ent at absolute time ent.at (>= e.now), stamping the FIFO
 // tie-breaker sequence.

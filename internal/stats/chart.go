@@ -10,8 +10,8 @@ import (
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders ys as a block-character strip scaled to [0, max].
-// Missing cells (NaN encoding is not used; absent x values are simply not
-// in the series) never occur here because series store dense y slices.
+// NaN cells (failed measurement points under fault injection) clamp to
+// the lowest block via the index guards below.
 func Sparkline(ys []float64, max float64) string {
 	if max <= 0 {
 		max = 1

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -135,7 +136,7 @@ func (t *Table) Render(w io.Writer) {
 		row := []string{FormatX(x)}
 		for _, s := range t.Series {
 			if y, ok := s.At(x); ok {
-				row = append(row, fmt.Sprintf("%.2f", y))
+				row = append(row, fmtCell(y, "%.2f"))
 			} else {
 				row = append(row, "-")
 			}
@@ -158,13 +159,24 @@ func (t *Table) RenderCSV(w io.Writer) {
 		row := []string{fmt.Sprintf("%g", x)}
 		for _, s := range t.Series {
 			if y, ok := s.At(x); ok {
-				row = append(row, fmt.Sprintf("%g", y))
+				row = append(row, fmtCell(y, "%g"))
 			} else {
 				row = append(row, "")
 			}
 		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// fmtCell renders one measured value. NaN marks a failed measurement
+// point (the harness commits NaN for points that errored under fault
+// injection) and renders as ERR so failures are visible in tables and CSV
+// alike.
+func fmtCell(y float64, verb string) string {
+	if math.IsNaN(y) {
+		return "ERR"
+	}
+	return fmt.Sprintf(verb, y)
 }
 
 func csvEscape(s string) string {

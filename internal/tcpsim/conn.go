@@ -60,6 +60,18 @@ type Conn struct {
 	unacked        sim.Ring[*segment] // retransmission queue (go-back-N)
 	writeWaiters   sim.Ring[*sim.Event]
 	rtoGen         int
+	// rtoStreak counts consecutive unproductive RTO expiries; it shifts
+	// the exponential backoff and, against MaxRetransmits, decides when
+	// the connection gives up. Any ack progress resets it.
+	rtoStreak int
+	// hsTries counts handshake (SYN/SYNACK) retransmissions.
+	hsTries int
+	// passive marks the server-side endpoint of a handshake (created by a
+	// listener); a duplicate SYN makes it resend its SYNACK.
+	passive bool
+	// err, once set, is the connection's terminal failure (ErrReset,
+	// ErrConnectTimeout): all pending and future I/O fails with it.
+	err error
 
 	// Receiver state.
 	rcvNxt      int64
@@ -99,6 +111,43 @@ func (c *Conn) Delivered() int64 { return c.delivered }
 // Retransmits returns the number of go-back-N recoveries.
 func (c *Conn) Retransmits() int64 { return c.retransmits }
 
+// Err returns the connection's terminal failure, or nil while it is
+// healthy.
+func (c *Conn) Err() error { return c.err }
+
+// reset tears the connection down with the given terminal error: the
+// retransmission machinery stops, buffered send data is discarded, and
+// every blocked reader, writer and dialer wakes to observe c.err. Receive
+// data already in order stays readable (Read drains it before reporting
+// the error). Idempotent.
+func (c *Conn) reset(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.rtoGen++ // cancel in-flight RTO timers
+	c.stack.stats.Resets++
+	c.stack.obs.resets.Add(1)
+	for c.unacked.Len() > 0 {
+		seg := c.unacked.Pop()
+		seg.inUnacked = false
+		c.stack.maybeFreeSegment(seg)
+	}
+	for c.sendQ.Len() > 0 {
+		c.sendQ.Pop()
+	}
+	c.sendQBytes = 0
+	if !c.established.Triggered() {
+		c.established.Trigger(nil) // wake Dial/Accept to see the error
+	}
+	for c.writeWaiters.Len() > 0 {
+		c.writeWaiters.Pop().Trigger(nil)
+	}
+	for c.readWaiters.Len() > 0 {
+		c.readWaiters.Pop().Trigger(nil)
+	}
+}
+
 // window is the current effective send window.
 func (c *Conn) window() int {
 	w := c.cwnd
@@ -112,41 +161,53 @@ func (c *Conn) window() int {
 func (c *Conn) sendBufCap() int { return 2 * c.stack.cfg.Window }
 
 // Write queues real payload bytes on the stream, blocking while the send
-// buffer is full.
-func (c *Conn) Write(p *sim.Proc, data []byte) {
+// buffer is full. It fails with the connection's terminal error once the
+// recovery machinery has given up.
+func (c *Conn) Write(p *sim.Proc, data []byte) error {
 	if len(data) == 0 {
-		return
+		return c.err
 	}
 	d := make([]byte, len(data))
 	copy(d, data)
-	c.write(p, span{data: d, length: len(d)})
+	return c.write(p, span{data: d, length: len(d)})
 }
 
 // WriteSynthetic queues n synthetic payload bytes (zeroes at the receiver),
 // for traffic generation without byte-copy costs in the host simulator.
-func (c *Conn) WriteSynthetic(p *sim.Proc, n int) {
+func (c *Conn) WriteSynthetic(p *sim.Proc, n int) error {
 	if n <= 0 {
-		return
+		return c.err
 	}
-	c.write(p, span{length: n})
+	return c.write(p, span{length: n})
 }
 
-func (c *Conn) write(p *sim.Proc, sp span) {
+func (c *Conn) write(p *sim.Proc, sp span) error {
+	if c.err != nil {
+		return c.err
+	}
 	for c.sendQBytes >= c.sendBufCap() {
 		ev := c.stack.env.AcquireEvent()
 		c.writeWaiters.Push(ev)
 		p.Wait(ev)
 		c.stack.env.ReleaseEvent(ev)
+		if c.err != nil {
+			return c.err
+		}
 	}
 	c.sendQ.Push(sp)
 	c.sendQBytes += sp.length
 	c.pump()
+	return nil
 }
 
 // Read blocks until stream bytes are available and returns up to max of
-// them (synthetic spans materialize as zero bytes).
-func (c *Conn) Read(p *sim.Proc, max int) []byte {
+// them (synthetic spans materialize as zero bytes). Buffered in-order data
+// is drained before a terminal connection error is reported.
+func (c *Conn) Read(p *sim.Proc, max int) ([]byte, error) {
 	for c.recvBytes == 0 {
+		if c.err != nil {
+			return nil, c.err
+		}
 		ev := c.stack.env.AcquireEvent()
 		c.readWaiters.Push(ev)
 		p.Wait(ev)
@@ -175,16 +236,21 @@ func (c *Conn) Read(p *sim.Proc, max int) []byte {
 		}
 	}
 	c.recvBytes -= n
-	return out
+	return out, nil
 }
 
-// ReadFull blocks until exactly n bytes are available and returns them.
-func (c *Conn) ReadFull(p *sim.Proc, n int) []byte {
+// ReadFull blocks until exactly n bytes are available and returns them, or
+// the connection's terminal error if it dies first.
+func (c *Conn) ReadFull(p *sim.Proc, n int) ([]byte, error) {
 	out := make([]byte, 0, n)
 	for len(out) < n {
-		out = append(out, c.Read(p, n-len(out))...)
+		chunk, err := c.Read(p, n-len(out))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, chunk...)
 	}
-	return out
+	return out, nil
 }
 
 // pump segments queued stream bytes into the transmit context while the
@@ -273,7 +339,12 @@ func (c *Conn) handle(seg *segment) {
 		c.pump()
 		return
 	case seg.flags&synFlag != 0:
-		return // handled by dispatch (listener path)
+		// Duplicate SYN: our SYNACK (or the peer's first ACK) was lost.
+		// The passive side answers again; dispatch created the conn.
+		if c.passive && !c.established.Triggered() {
+			c.sendCtl(synFlag | ackFlag)
+		}
+		return
 	}
 	if !c.established.Triggered() {
 		// Server side: first ACK completes the handshake.
@@ -332,23 +403,34 @@ func (c *Conn) handleAck(ackNum int64) {
 		}
 	}
 	c.rtoGen++
+	c.rtoStreak = 0 // forward progress: recovery is working
 	if c.unacked.Len() > 0 {
 		c.armRTO()
 	}
 	c.pump()
 }
 
-// rto is the retransmission timeout. The fabric is FIFO and lossless, so
-// this only fires under fault injection; a generous fixed timeout keeps the
-// model simple.
-const rto = 50 * sim.Millisecond
-
+// armRTO arms the retransmission timer. The fabric is FIFO and lossless,
+// so it only fires under fault injection. Each unproductive expiry doubles
+// the timeout (capped at RTO<<maxRTOShift) and counts against the stack's
+// MaxRetransmits budget; exhausting it resets the connection, so a
+// permanently dead WAN terminates with ErrReset instead of retransmitting
+// forever.
 func (c *Conn) armRTO() {
 	gen := c.rtoGen
-	c.stack.env.At(rto, func() {
+	shift := c.rtoStreak
+	if shift > maxRTOShift {
+		shift = maxRTOShift
+	}
+	c.stack.env.At(c.stack.cfg.RTO<<shift, func() {
 		if gen != c.rtoGen || c.unacked.Len() == 0 {
 			return
 		}
+		if mx := c.stack.cfg.MaxRetransmits; mx >= 0 && c.rtoStreak >= mx {
+			c.reset(ErrReset)
+			return
+		}
+		c.rtoStreak++
 		// Go-back-N: resend everything outstanding.
 		c.retransmits++
 		c.stack.obs.retransmits.Add(1)
@@ -357,5 +439,32 @@ func (c *Conn) armRTO() {
 			c.stack.transmit(*c.unacked.At(i))
 		}
 		c.armRTO()
+	})
+}
+
+// armHandshake retransmits the connection-establishing control segment
+// (SYN on the active side, SYN|ACK on the passive side) until the
+// handshake completes, with the same backoff and budget as data RTOs.
+// Exhaustion resets the connection with ErrConnectTimeout. Only armed on
+// chaos-enabled stacks: fault-free runs schedule no handshake timers.
+func (c *Conn) armHandshake(flags int) {
+	tries := c.hsTries
+	shift := tries
+	if shift > maxRTOShift {
+		shift = maxRTOShift
+	}
+	c.stack.env.At(c.stack.cfg.RTO<<shift, func() {
+		if c.established.Triggered() || c.err != nil || tries != c.hsTries {
+			return
+		}
+		if mx := c.stack.cfg.MaxRetransmits; mx >= 0 && c.hsTries >= mx {
+			c.reset(ErrConnectTimeout)
+			return
+		}
+		c.hsTries++
+		c.retransmits++
+		c.stack.obs.retransmits.Add(1)
+		c.sendCtl(flags)
+		c.armHandshake(flags)
 	})
 }

@@ -18,12 +18,26 @@
 package tcpsim
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/ipoib"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+)
+
+// Connection-level failures surfaced by the recovery machinery. The error
+// values (and strings) are fixed so faulted experiment output stays
+// deterministic.
+var (
+	// ErrReset reports that a connection gave up: MaxRetransmits
+	// consecutive unproductive retransmission timeouts.
+	ErrReset = errors.New("tcpsim: connection reset: retransmission limit exceeded")
+	// ErrConnectTimeout reports that the three-way handshake never
+	// completed within the retry budget.
+	ErrConnectTimeout = errors.New("tcpsim: connect timed out")
 )
 
 // Protocol constants.
@@ -53,11 +67,33 @@ func segCPU(payload int) sim.Time {
 	return PerPacketCPU + sim.Time(float64(payload+HeaderBytes)*PerByteCPUNanos)
 }
 
+// DefaultRTO is the default base retransmission timeout. The fabric is
+// FIFO and lossless, so timers only fire under fault injection; a generous
+// base keeps the fault-free model simple.
+const DefaultRTO = 50 * sim.Millisecond
+
+// DefaultMaxRetransmits is the default bound on consecutive unproductive
+// retransmission timeouts (and handshake retries) before the connection
+// resets, mirroring a 2008-era Linux tcp_retries2.
+const DefaultMaxRetransmits = 8
+
+// maxRTOShift caps the exponential RTO backoff at base << 6 (64x).
+const maxRTOShift = 6
+
 // Config tunes a stack.
 type Config struct {
 	// Window is the advertised receive window and congestion window
 	// ceiling in bytes (0 = DefaultWindow).
 	Window int
+	// RTO is the base retransmission timeout (0 = DefaultRTO). Successive
+	// unproductive timeouts back off exponentially from this base, capped
+	// at 64x.
+	RTO sim.Time
+	// MaxRetransmits bounds consecutive unproductive retransmission
+	// timeouts — and, symmetrically, handshake (SYN/SYNACK) retries —
+	// before the connection resets with ErrReset/ErrConnectTimeout.
+	// 0 selects DefaultMaxRetransmits; a negative value retries forever.
+	MaxRetransmits int
 }
 
 type connKey struct {
@@ -85,14 +121,25 @@ type Stack struct {
 	// obs holds possibly-nil telemetry handles; record methods on nil
 	// handles are no-ops, so the disabled path costs a nil check per site.
 	obs stackObs
+	// dropFn, when non-nil, is consulted per outbound segment after
+	// transmit-side processing; returning true loses the segment (fault
+	// injection at the TCP layer).
+	dropFn func(wireBytes int) bool
+	// chaos arms the recovery timers that exist only for fault tolerance
+	// (handshake retransmission). It is set when the environment carries
+	// an enabled fault plan, or via SetDropFn: fault-free runs schedule
+	// not a single extra event, keeping their output byte-identical.
+	chaos bool
 }
 
 // stackObs caches the stack's telemetry metric handles.
 type stackObs struct {
-	txSegs, rxSegs    *telemetry.Counter
-	txBytes, rxBytes  *telemetry.Counter
-	retransmits       *telemetry.Counter
-	segProcNS         *telemetry.Histogram // per-segment stack processing cost
+	txSegs, rxSegs   *telemetry.Counter
+	txBytes, rxBytes *telemetry.Counter
+	retransmits      *telemetry.Counter
+	resets           *telemetry.Counter   // connections torn down by the recovery machinery
+	segDrops         *telemetry.Counter   // fault-injected segment losses
+	segProcNS        *telemetry.Histogram // per-segment stack processing cost
 }
 
 // newSegment returns a zeroed segment (its spans backing array is kept).
@@ -142,6 +189,8 @@ type StackStats struct {
 	TxSegments, RxSegments int64
 	TxBytes, RxBytes       int64
 	TxBusy, RxBusy         sim.Time // cumulative processing time
+	SegDrops               int64    // segments lost to fault injection
+	Resets                 int64    // connections reset by the recovery machinery
 }
 
 // NewStack binds a TCP stack to an IPoIB interface and starts its transmit
@@ -149,6 +198,12 @@ type StackStats struct {
 func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 	if cfg.Window == 0 {
 		cfg.Window = DefaultWindow
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = DefaultRTO
+	}
+	if cfg.MaxRetransmits == 0 {
+		cfg.MaxRetransmits = DefaultMaxRetransmits
 	}
 	s := &Stack{
 		env:       dev.Env(),
@@ -168,7 +223,19 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			txBytes:     m.Counter("tcp.tx.bytes"),
 			rxBytes:     m.Counter("tcp.rx.bytes"),
 			retransmits: m.Counter("tcp.retransmits"),
+			resets:      m.Counter("tcp.conn.resets"),
+			segDrops:    m.Counter("tcp.seg.drops"),
 			segProcNS:   m.Histogram("tcp.segment.proc.ns"),
+		}
+	}
+	// A fault plan on the environment arms the stack's chaos machinery:
+	// the TCP-layer segment-loss injector (if the plan asks for one) and
+	// the handshake recovery timers (a WAN-level fault can strand a
+	// handshake even when the plan injects no TCP loss itself).
+	if pl := fault.PlanFromEnv(s.env); pl != nil && pl.Enabled() {
+		s.chaos = true
+		if in := pl.ArmTCP(s.env); in != nil {
+			s.dropFn = in.DropWire
 		}
 	}
 	dev.SetHandler(func(src ib.LID, payload any, length int) {
@@ -191,6 +258,15 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			s.obs.txBytes.Add(int64(seg.length))
 			s.obs.segProcNS.Observe(int64(c))
 			p.Sleep(c)
+			if s.dropFn != nil && s.dropFn(seg.length+HeaderBytes) {
+				// TCP-layer fault injection: the segment is lost after
+				// transmit processing. End its flight; data segments stay
+				// in the sender's retransmission queue.
+				s.stats.SegDrops++
+				s.obs.segDrops.Add(1)
+				s.unrefSegment(seg)
+				continue
+			}
 			s.dev.Send(seg.dst, seg, seg.length+HeaderBytes)
 		}
 	})
@@ -216,6 +292,17 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 // Stats returns a snapshot of the stack counters.
 func (s *Stack) Stats() StackStats { return s.stats }
 
+// SetDropFn installs (or, with nil, removes) a per-segment fault-injection
+// hook: fn is consulted for every outbound segment after transmit-side
+// processing, and returning true loses it. Installing a hook also arms the
+// stack's handshake recovery timers.
+func (s *Stack) SetDropFn(fn func(wireBytes int) bool) {
+	s.dropFn = fn
+	if fn != nil {
+		s.chaos = true
+	}
+}
+
 // Env returns the simulation environment.
 func (s *Stack) Env() *sim.Env { return s.env }
 
@@ -239,14 +326,22 @@ func (s *Stack) Listen(port int) *Listener {
 }
 
 // Dial opens a connection to the remote stack and blocks until the
-// three-way handshake completes.
-func (s *Stack) Dial(p *sim.Proc, remote ib.LID, port int) *Conn {
+// three-way handshake completes. Under fault injection the SYN is
+// retransmitted with exponential backoff; when the retry budget runs out
+// the dial fails with ErrConnectTimeout.
+func (s *Stack) Dial(p *sim.Proc, remote ib.LID, port int) (*Conn, error) {
 	s.nextPort++
 	c := newConn(s, remote, port, s.nextPort)
 	s.conns[c.key()] = c
 	c.sendCtl(synFlag)
+	if s.chaos {
+		c.armHandshake(synFlag)
+	}
 	p.Wait(c.established)
-	return c
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
 }
 
 // dispatch routes an inbound segment to its connection or listener.
@@ -259,9 +354,13 @@ func (s *Stack) dispatch(seg *segment) {
 	if seg.flags&synFlag != 0 && seg.flags&ackFlag == 0 {
 		if l, ok := s.listeners[seg.dstPort]; ok {
 			c := newConn(s, seg.srcAddr, seg.srcPort, seg.dstPort)
+			c.passive = true
 			c.swnd = seg.wnd
 			s.conns[key] = c
 			c.sendCtl(synFlag | ackFlag)
+			if s.chaos {
+				c.armHandshake(synFlag | ackFlag)
+			}
 			l.backlog.TryPut(c)
 			return
 		}
@@ -277,8 +376,13 @@ type Listener struct {
 }
 
 // Accept blocks until a connection arrives and returns it once established.
-func (l *Listener) Accept(p *sim.Proc) *Conn {
+// Under fault injection an accepted connection whose handshake never
+// completes fails with ErrConnectTimeout.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
 	c := l.backlog.Get(p)
 	p.Wait(c.established)
-	return c
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
 }

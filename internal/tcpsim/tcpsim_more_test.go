@@ -14,7 +14,7 @@ func TestSlowStartReachesWindow(t *testing.T) {
 	var conn *Conn
 	env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 	env.Go("cli", func(p *sim.Proc) {
-		conn = sa.Dial(p, sb.Addr(), 5000)
+		conn, _ = sa.Dial(p, sb.Addr(), 5000)
 		for i := 0; i < 100; i++ {
 			conn.WriteSynthetic(p, 1<<20)
 		}
@@ -33,7 +33,7 @@ func TestSegmentPackingAtMSS(t *testing.T) {
 	ln := sb.Listen(5000)
 	env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 	env.Go("cli", func(p *sim.Proc) {
-		c := sa.Dial(p, sb.Addr(), 5000)
+		c, _ := sa.Dial(p, sb.Addr(), 5000)
 		for i := 0; i < 1000; i++ {
 			c.WriteSynthetic(p, 7777) // awkward chunk size
 		}
@@ -61,10 +61,10 @@ func TestDeliveredCounter(t *testing.T) {
 	ln := sb.Listen(5000)
 	var srvConn *Conn
 	env.Go("srv", func(p *sim.Proc) {
-		srvConn = ln.Accept(p)
+		srvConn, _ = ln.Accept(p)
 	})
 	env.Go("cli", func(p *sim.Proc) {
-		c := sa.Dial(p, sb.Addr(), 5000)
+		c, _ := sa.Dial(p, sb.Addr(), 5000)
 		c.WriteSynthetic(p, 123456)
 	})
 	env.Run()
@@ -81,12 +81,12 @@ func TestInterleavedRealAndSyntheticSpans(t *testing.T) {
 	ln := sb.Listen(5000)
 	var got []byte
 	env.Go("srv", func(p *sim.Proc) {
-		c := ln.Accept(p)
-		got = c.ReadFull(p, 5+1000+5)
+		c, _ := ln.Accept(p)
+		got, _ = c.ReadFull(p, 5+1000+5)
 		env.Stop()
 	})
 	env.Go("cli", func(p *sim.Proc) {
-		c := sa.Dial(p, sb.Addr(), 5000)
+		c, _ := sa.Dial(p, sb.Addr(), 5000)
 		c.Write(p, []byte("HELLO"))
 		c.WriteSynthetic(p, 1000)
 		c.Write(p, []byte("WORLD"))
@@ -109,7 +109,7 @@ func TestWindowCapsInflight(t *testing.T) {
 	var conn *Conn
 	env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 	env.Go("cli", func(p *sim.Proc) {
-		conn = sa.Dial(p, sb.Addr(), 5000)
+		conn, _ = sa.Dial(p, sb.Addr(), 5000)
 		for i := 0; i < 50; i++ {
 			conn.WriteSynthetic(p, 1<<20)
 		}

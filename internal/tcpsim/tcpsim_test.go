@@ -28,14 +28,14 @@ func TestHandshakeAndEcho(t *testing.T) {
 	msg := []byte("ping over the WAN")
 	var echoed []byte
 	env.Go("server", func(p *sim.Proc) {
-		c := ln.Accept(p)
-		data := c.ReadFull(p, len(msg))
+		c, _ := ln.Accept(p)
+		data, _ := c.ReadFull(p, len(msg))
 		c.Write(p, data)
 	})
 	env.Go("client", func(p *sim.Proc) {
-		c := sa.Dial(p, sb.Addr(), 5000)
+		c, _ := sa.Dial(p, sb.Addr(), 5000)
 		c.Write(p, msg)
-		echoed = c.ReadFull(p, len(msg))
+		echoed, _ = c.ReadFull(p, len(msg))
 		env.Stop()
 	})
 	env.Run()
@@ -53,12 +53,12 @@ func TestLargeTransferIntegrity(t *testing.T) {
 	rng.Read(data)
 	var got []byte
 	env.Go("server", func(p *sim.Proc) {
-		c := ln.Accept(p)
-		got = c.ReadFull(p, len(data))
+		c, _ := ln.Accept(p)
+		got, _ = c.ReadFull(p, len(data))
 		env.Stop()
 	})
 	env.Go("client", func(p *sim.Proc) {
-		c := sa.Dial(p, sb.Addr(), 5000)
+		c, _ := sa.Dial(p, sb.Addr(), 5000)
 		for off := 0; off < len(data); off += 100000 {
 			end := off + 100000
 			if end > len(data) {
@@ -83,7 +83,7 @@ func throughput(env *sim.Env, sa, sb *Stack, streams int, dur sim.Time) float64 
 		ln := sb.Listen(port)
 		env.Go("srv", func(p *sim.Proc) { ln.Accept(p) })
 		env.Go("cli", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), port)
+			c, _ := sa.Dial(p, sb.Addr(), port)
 			conns = append(conns, c)
 			for {
 				c.WriteSynthetic(p, 1<<20)
@@ -226,12 +226,12 @@ func TestRetransmissionRecoversDrop(t *testing.T) {
 	var got []byte
 	var rtx int64
 	env2.Go("server", func(p *sim.Proc) {
-		c := ln.Accept(p)
-		got = c.ReadFull(p, len(payload))
+		c, _ := ln.Accept(p)
+		got, _ = c.ReadFull(p, len(payload))
 		env2.Stop()
 	})
 	env2.Go("client", func(p *sim.Proc) {
-		c := sa2.Dial(p, sb2.Addr(), 5000)
+		c, _ := sa2.Dial(p, sb2.Addr(), 5000)
 		c.Write(p, payload)
 		for {
 			p.Sleep(10 * sim.Millisecond)
@@ -265,12 +265,12 @@ func TestManyConnectionsDistinctPorts(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		env.Go("srv", func(p *sim.Proc) {
-			c := lns[i].Accept(p)
-			b := c.ReadFull(p, 1)
+			c, _ := lns[i].Accept(p)
+			b, _ := c.ReadFull(p, 1)
 			results[i] = b[0]
 		})
 		env.Go("cli", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), 7000+i)
+			c, _ := sa.Dial(p, sb.Addr(), 7000+i)
 			c.Write(p, []byte{byte(i + 1)})
 		})
 	}
@@ -311,12 +311,12 @@ func TestPropStreamIntegrity(t *testing.T) {
 		ln := sb.Listen(5000)
 		var got []byte
 		env.Go("server", func(p *sim.Proc) {
-			c := ln.Accept(p)
-			got = c.ReadFull(p, len(all))
+			c, _ := ln.Accept(p)
+			got, _ = c.ReadFull(p, len(all))
 			env.Stop()
 		})
 		env.Go("client", func(p *sim.Proc) {
-			c := sa.Dial(p, sb.Addr(), 5000)
+			c, _ := sa.Dial(p, sb.Addr(), 5000)
 			for _, ch := range chunks {
 				c.Write(p, ch)
 			}

@@ -8,6 +8,7 @@ package wan
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/sim"
 )
@@ -25,12 +26,14 @@ const MicrosPerKM = 5.0
 const WANRate = ib.SDR
 
 // DelayForDistance returns the one-way WAN delay emulating a wire of the
-// given length in kilometers (paper Table 1).
-func DelayForDistance(km float64) sim.Time {
+// given length in kilometers (paper Table 1). A negative distance is an
+// error (it used to panic; a bad parameter should degrade the one
+// measurement point that used it, not crash the whole run).
+func DelayForDistance(km float64) (sim.Time, error) {
 	if km < 0 {
-		panic("wan: negative distance")
+		return 0, fmt.Errorf("wan: negative distance %v km", km)
 	}
-	return sim.Micros(km * MicrosPerKM)
+	return sim.Micros(km * MicrosPerKM), nil
 }
 
 // DistanceForDelay inverts DelayForDistance.
@@ -67,6 +70,11 @@ func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
 	link := f.Connect(a.sw, b.sw, WANRate, delay)
 	// The long-haul hop is where utilization and queueing telemetry lives.
 	link.MarkWAN()
+	// If the environment carries a fault plan, this is the link it wants:
+	// arm the plan's WAN levers (loss models, flaps, brownouts, rate
+	// throttling). With no plan attached this is a no-op, so fault-free
+	// runs are untouched.
+	fault.PlanFromEnv(f.Env()).ArmWAN(f.Env(), link)
 	return &Pair{A: a, B: b, link: link}
 }
 
@@ -74,7 +82,14 @@ func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
 func (p *Pair) SetDelay(d sim.Time) { p.link.SetDelay(d) }
 
 // SetDistanceKM sets the delay from an emulated wire length.
-func (p *Pair) SetDistanceKM(km float64) { p.link.SetDelay(DelayForDistance(km)) }
+func (p *Pair) SetDistanceKM(km float64) error {
+	d, err := DelayForDistance(km)
+	if err != nil {
+		return err
+	}
+	p.link.SetDelay(d)
+	return nil
+}
 
 // Delay returns the configured one-way WAN delay.
 func (p *Pair) Delay() sim.Time { return p.link.Delay() }
@@ -99,19 +114,27 @@ type DelayStep struct {
 // ScheduleDelays arms a time-varying delay on the WAN link — the paper
 // notes that "WAN separations often vary and can be dynamic in nature".
 // Packets in flight keep the delay they departed with; later packets see
-// the new value. Steps must be sorted by time.
-func (p *Pair) ScheduleDelays(env *sim.Env, steps []DelayStep) {
+// the new value. Steps must be sorted by time and not in the simulated
+// past; a bad schedule returns an error with nothing armed (it used to
+// panic), so the harness can degrade a single measurement point.
+func (p *Pair) ScheduleDelays(env *sim.Env, steps []DelayStep) error {
 	now := env.Now()
 	var last sim.Time = -1
-	for _, s := range steps {
+	for i, s := range steps {
 		if s.At < now {
-			panic("wan: delay step in the past")
+			return fmt.Errorf("wan: delay step %d at %v is in the past (now %v)", i, s.At, now)
 		}
 		if s.At < last {
-			panic("wan: delay steps out of order")
+			return fmt.Errorf("wan: delay step %d at %v out of order (previous %v)", i, s.At, last)
+		}
+		if s.Delay < 0 {
+			return fmt.Errorf("wan: delay step %d has negative delay %v", i, s.Delay)
 		}
 		last = s.At
+	}
+	for _, s := range steps {
 		d := s.Delay
 		env.At(s.At-now, func() { p.SetDelay(d) })
 	}
+	return nil
 }

@@ -20,7 +20,11 @@ func TestDelayDistanceMapping(t *testing.T) {
 		{20000, sim.Micros(100000)},
 	}
 	for _, c := range cases {
-		if got := DelayForDistance(c.km); got != c.want {
+		got, err := DelayForDistance(c.km)
+		if err != nil {
+			t.Fatalf("DelayForDistance(%v): %v", c.km, err)
+		}
+		if got != c.want {
 			t.Errorf("DelayForDistance(%v) = %v, want %v", c.km, got, c.want)
 		}
 		if got := DistanceForDelay(c.want); got != c.km {
@@ -29,13 +33,19 @@ func TestDelayDistanceMapping(t *testing.T) {
 	}
 }
 
-func TestNegativeDistancePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative distance did not panic")
-		}
-	}()
-	DelayForDistance(-1)
+func TestNegativeDistanceErrors(t *testing.T) {
+	if _, err := DelayForDistance(-1); err == nil {
+		t.Fatal("negative distance did not return an error")
+	}
+	env := sim.NewEnv()
+	f := ib.NewFabric(env)
+	p := NewPair(f, "lb", sim.Micros(10))
+	if err := p.SetDistanceKM(-5); err == nil {
+		t.Fatal("SetDistanceKM(-5) did not return an error")
+	}
+	if p.Delay() != sim.Micros(10) {
+		t.Errorf("failed SetDistanceKM changed delay to %v", p.Delay())
+	}
 }
 
 func TestPairDelayKnob(t *testing.T) {
@@ -45,7 +55,9 @@ func TestPairDelayKnob(t *testing.T) {
 	if p.Delay() != 0 {
 		t.Fatalf("initial delay = %v", p.Delay())
 	}
-	p.SetDistanceKM(200)
+	if err := p.SetDistanceKM(200); err != nil {
+		t.Fatalf("SetDistanceKM(200): %v", err)
+	}
 	if p.Delay() != sim.Micros(1000) {
 		t.Errorf("delay after SetDistanceKM(200) = %v, want 1ms", p.Delay())
 	}
@@ -62,10 +74,12 @@ func TestScheduleDelays(t *testing.T) {
 	env := sim.NewEnv()
 	f := ib.NewFabric(env)
 	p := NewPair(f, "lb", sim.Micros(10))
-	p.ScheduleDelays(env, []DelayStep{
+	if err := p.ScheduleDelays(env, []DelayStep{
 		{At: sim.Micros(100), Delay: sim.Micros(500)},
 		{At: sim.Micros(200), Delay: sim.Micros(50)},
-	})
+	}); err != nil {
+		t.Fatalf("ScheduleDelays: %v", err)
+	}
 	env.RunUntil(sim.Micros(150))
 	if p.Delay() != sim.Micros(500) {
 		t.Errorf("delay at t=150us = %v, want 500us", p.Delay())
@@ -76,19 +90,22 @@ func TestScheduleDelays(t *testing.T) {
 	}
 }
 
-func TestScheduleDelaysOutOfOrderPanics(t *testing.T) {
+func TestScheduleDelaysOutOfOrderErrors(t *testing.T) {
 	env := sim.NewEnv()
 	f := ib.NewFabric(env)
 	p := NewPair(f, "lb", 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-order steps did not panic")
-		}
-	}()
-	p.ScheduleDelays(env, []DelayStep{
+	err := p.ScheduleDelays(env, []DelayStep{
 		{At: sim.Micros(200), Delay: 0},
 		{At: sim.Micros(100), Delay: 0},
 	})
+	if err == nil {
+		t.Fatal("out-of-order steps did not return an error")
+	}
+	// Validation happens before arming: a rejected schedule must leave
+	// nothing behind on the event heap.
+	if env.Pending() != 0 {
+		t.Errorf("rejected schedule armed %d events", env.Pending())
+	}
 }
 
 func TestWANDelayAppliesToTraffic(t *testing.T) {
