@@ -8,7 +8,10 @@
 //
 // Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13, plus the loss-* family (loss-goodput loss-latency loss-flap
-// loss-tcp) extending the paper to lossy WAN circuits (see FAULTS.md).
+// loss-tcp) extending the paper to lossy WAN circuits (see FAULTS.md), and
+// the multisite-* family (multisite-bcast multisite-allreduce multisite-nfs
+// multisite-loss) running on N-site topologies selected with -topo (see
+// EXPERIMENTS.md). -list enumerates them all with descriptions.
 //
 // Every experiment expands into independent measurement points (one
 // simulated testbed per point) that run on a bounded worker pool; -par
@@ -28,6 +31,8 @@
 //	ibwan-exp -quick -metrics-out metrics.txt fig8  # telemetry metrics dump
 //	ibwan-exp -quick -fault wan-loss=0.01 fig5      # chaos: 1% WAN packet loss
 //	ibwan-exp -quick -fault wan-down fig8           # chaos: WAN dead, ERR rows
+//	ibwan-exp -quick -topo ring4 multisite-bcast    # 4-site ring, flat vs hier bcast
+//	ibwan-exp -list                                 # experiment ids + descriptions
 //
 // Every output path (-json, -bench, -cpuprofile, -memprofile, -trace-out,
 // -metrics-out) is opened before any simulation runs, so an unwritable path
@@ -48,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 )
 
 // flagSet reports whether the named flag was set explicitly.
@@ -68,6 +74,8 @@ func main() {
 	fileMB := flag.Int("filemb", 512, "IOzone file size in MB for fig13")
 	tcpMS := flag.Int("tcpms", 60, "TCP measurement window (virtual ms) for fig6/fig7")
 	quick := flag.Bool("quick", false, "coarse sweeps for a fast smoke run")
+	topoName := flag.String("topo", "star3", "site topology preset for the multisite-* family ("+strings.Join(topo.PresetNames(), "|")+")")
+	list := flag.Bool("list", false, "list the experiment registry with one-line descriptions and exit")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "measurement points run concurrently (output is identical at any value)")
 	progress := flag.Bool("progress", false, "live per-point status line on stderr")
 	jsonOut := flag.String("json", "", "write a JSON report (metrics + table data) to this file ('-' = stdout, suppresses tables)")
@@ -84,12 +92,22 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *list {
+		for _, s := range core.Specs() {
+			fmt.Printf("%-20s %s\n", s.ID, s.Desc)
+		}
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := core.Options{NASClass: *class, NFSFileMB: *fileMB, TCPMillis: *tcpMS, Quick: *quick}
+	if _, err := topo.Preset(*topoName, 0, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: -topo: %v\n", err)
+		os.Exit(2)
+	}
+	opt := core.Options{NASClass: *class, NFSFileMB: *fileMB, TCPMillis: *tcpMS, Topo: *topoName, Quick: *quick}
 	if *quick {
 		// Let Quick pick its own lighter defaults unless overridden.
 		if !flagSet("class") {

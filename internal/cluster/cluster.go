@@ -3,26 +3,26 @@
 // Obsidian Longbow XR WAN extenders. Cluster A models 32 dual-processor
 // Xeon nodes, Cluster B models quad dual-core Xeon nodes, both with DDR
 // HCAs; the WAN hop runs at SDR.
+//
+// Since the topology layer landed, this package is a thin compatibility
+// wrapper: New builds the degenerate two-site topo.Topology (sites "A" and
+// "B", one link) and re-exposes it through the classic Testbed shape.
+// Construction order — and therefore LID assignment, routing tie-breaks
+// and every simulated result — is unchanged; the golden-output test pins
+// that. New experiments should use internal/topo directly.
 package cluster
 
 import (
-	"fmt"
-	"strings"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/wan"
 
 	"repro/internal/ib"
-	"repro/internal/sim"
-	"repro/internal/wan"
 )
 
-// Node is one compute node: an HCA plus a CPU resource used by software
-// protocol stacks (TCP/IPoIB, NFS) to model host processing contention.
-type Node struct {
-	Name string
-	HCA  *ib.HCA
-	CPU  *sim.Resource
-	// Cluster is "A" or "B".
-	Cluster string
-}
+// Node is one compute node. It is the topology layer's node type; the
+// Cluster field carries the site name ("A" or "B" here).
+type Node = topo.Node
 
 // Config sizes the testbed. Zero values select the paper's configuration.
 type Config struct {
@@ -54,8 +54,18 @@ func (c *Config) fill() {
 	if c.CoresB == 0 {
 		c.CoresB = 8
 	}
-	if c.LinkRate == 0 {
-		c.LinkRate = ib.DDR
+}
+
+// Topology returns the two-site topology spec the config describes.
+func (c Config) Topology() topo.Topology {
+	c.fill()
+	return topo.Topology{
+		Sites: []topo.Site{
+			{Name: "A", Nodes: c.NodesA, Cores: c.CoresA, LeafRadix: c.LeafRadix},
+			{Name: "B", Nodes: c.NodesB, Cores: c.CoresB, LeafRadix: c.LeafRadix},
+		},
+		Links:    []topo.Link{{A: "A", B: "B", Delay: c.Delay}},
+		LinkRate: c.LinkRate,
 	}
 }
 
@@ -63,6 +73,7 @@ func (c *Config) fill() {
 type Testbed struct {
 	Env     *sim.Env
 	Fabric  *ib.Fabric
+	Net     *topo.Network
 	A, B    []*Node
 	SwitchA *ib.Switch // cluster A spine
 	SwitchB *ib.Switch // cluster B spine
@@ -73,45 +84,25 @@ type Testbed struct {
 
 // New assembles the testbed on the given environment.
 func New(env *sim.Env, cfg Config) *Testbed {
-	cfg.fill()
-	f := ib.NewFabric(env)
-	tb := &Testbed{Env: env, Fabric: f}
-	tb.SwitchA = f.AddSwitch("switch-A", ib.SwitchDelay)
-	tb.SwitchB = f.AddSwitch("switch-B", ib.SwitchDelay)
-	tb.WAN = wan.NewPair(f, "longbow", cfg.Delay)
-	f.Connect(tb.SwitchA, tb.WAN.A.Device(), cfg.LinkRate, ib.DefaultCableDelay)
-	f.Connect(tb.SwitchB, tb.WAN.B.Device(), cfg.LinkRate, ib.DefaultCableDelay)
-	buildCluster := func(label string, count, cores int, spine *ib.Switch, leaves *[]*ib.Switch) []*Node {
-		var nodes []*Node
-		attach := func(n *Node, i int) {
-			if cfg.LeafRadix <= 0 {
-				f.Connect(n.HCA, spine, cfg.LinkRate, ib.DefaultCableDelay)
-				return
-			}
-			leafIdx := i / cfg.LeafRadix
-			for len(*leaves) <= leafIdx {
-				leaf := f.AddSwitch(fmt.Sprintf("leaf-%s%d", label, len(*leaves)), ib.SwitchDelay)
-				f.Connect(leaf, spine, cfg.LinkRate, ib.DefaultCableDelay)
-				*leaves = append(*leaves, leaf)
-			}
-			f.Connect(n.HCA, (*leaves)[leafIdx], cfg.LinkRate, ib.DefaultCableDelay)
-		}
-		for i := 0; i < count; i++ {
-			n := &Node{
-				Name:    fmt.Sprintf("%s%02d", strings.ToLower(label), i),
-				CPU:     sim.NewResource(env, cores),
-				Cluster: label,
-			}
-			n.HCA = f.AddHCA(n.Name)
-			attach(n, i)
-			nodes = append(nodes, n)
-		}
-		return nodes
+	nw, err := topo.Build(env, cfg.Topology())
+	if err != nil {
+		// Only reachable through a malformed Config (e.g. negative node
+		// count); the zero Config is always valid.
+		panic(err)
 	}
-	tb.A = buildCluster("A", cfg.NodesA, cfg.CoresA, tb.SwitchA, &tb.LeavesA)
-	tb.B = buildCluster("B", cfg.NodesB, cfg.CoresB, tb.SwitchB, &tb.LeavesB)
-	f.Finalize()
-	return tb
+	a, b := nw.Site("A"), nw.Site("B")
+	return &Testbed{
+		Env:     env,
+		Fabric:  nw.Fabric,
+		Net:     nw,
+		A:       a.Nodes,
+		B:       b.Nodes,
+		SwitchA: a.Spine,
+		SwitchB: b.Spine,
+		LeavesA: a.Leaves,
+		LeavesB: b.Leaves,
+		WAN:     nw.Links()[0].Pair,
+	}
 }
 
 // SetDelay reconfigures the WAN delay knob (valid between runs or at any

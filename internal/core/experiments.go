@@ -37,6 +37,9 @@ type Options struct {
 	// experiments in milliseconds of virtual time at zero delay; it is
 	// scaled up with delay automatically. Default 60.
 	TCPMillis int
+	// Topo names the topo preset the multisite-* family runs on
+	// ("paper", "star3", "ring4", "mesh4"). Default "star3".
+	Topo string
 	// Quick shrinks every sweep (fewer delays, sizes, streams, smaller
 	// worlds) for smoke runs; shapes remain visible but are coarser.
 	Quick bool
@@ -60,6 +63,9 @@ func (o *Options) fill() {
 		if o.Quick {
 			o.TCPMillis = 10
 		}
+	}
+	if o.Topo == "" {
+		o.Topo = "star3"
 	}
 }
 

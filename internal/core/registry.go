@@ -10,11 +10,13 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Spec declares one experiment: a stable identifier plus a builder that
-// expands the experiment, for a given set of Options, into skeleton tables
-// and the independent measurement points that fill them.
+// Spec declares one experiment: a stable identifier, a one-line
+// description (the -list output), plus a builder that expands the
+// experiment, for a given set of Options, into skeleton tables and the
+// independent measurement points that fill them.
 type Spec struct {
 	ID    string
+	Desc  string
 	Build func(opt Options) *Plan
 }
 
@@ -140,24 +142,30 @@ func (m *Meter) close() {
 // means adding a builder and one entry here; the CLI, RunAll, benchmarks
 // and the determinism test all pick it up from this table.
 var registry = []Spec{
-	{"table1", table1},
-	{"fig3", fig3},
-	{"fig4", fig4},
-	{"fig5", fig5},
-	{"fig6", fig6},
-	{"fig7", fig7},
-	{"fig8", fig8},
-	{"fig9", fig9},
-	{"fig10", fig10},
-	{"fig11", fig11},
-	{"fig12", fig12},
-	{"fig13", fig13},
+	{"table1", "delay overhead of the Longbow's emulated wire length (Table 1)", table1},
+	{"fig3", "verbs-level small-message latency across the WAN bridge", fig3},
+	{"fig4", "verbs UD uni/bidirectional bandwidth vs WAN delay", fig4},
+	{"fig5", "verbs RC uni/bidirectional bandwidth vs WAN delay", fig5},
+	{"fig6", "IPoIB-UD TCP throughput vs delay (windows, parallel streams)", fig6},
+	{"fig7", "IPoIB-RC TCP throughput vs delay (MTUs, parallel streams)", fig7},
+	{"fig8", "MPI bandwidth vs WAN delay (MVAPICH2 model)", fig8},
+	{"fig9", "MPI rendezvous-threshold tuning at 1 ms delay", fig9},
+	{"fig10", "multi-pair MPI aggregate message rate vs delay", fig10},
+	{"fig11", "MPI broadcast, stock vs WAN-aware hierarchical algorithm", fig11},
+	{"fig12", "NAS kernel execution time vs WAN delay (64 procs)", fig12},
+	{"fig13", "NFS read throughput over RDMA and IPoIB vs delay", fig13},
 	// The loss-* family extends the paper to lossy WAN circuits (see
 	// FAULTS.md); each point arms its own seeded fault plan.
-	{"loss-goodput", lossGoodput},
-	{"loss-latency", lossLatency},
-	{"loss-flap", lossFlap},
-	{"loss-tcp", lossTCP},
+	{"loss-goodput", "RC streaming goodput vs per-packet WAN loss", lossGoodput},
+	{"loss-latency", "RC small-message latency vs per-packet WAN loss", lossLatency},
+	{"loss-flap", "RC streaming goodput across scheduled WAN outages", lossFlap},
+	{"loss-tcp", "IPoIB TCP goodput vs per-segment loss", lossTCP},
+	// The multisite-* family runs on N-site topologies (Options.Topo picks
+	// the topo preset; see multisite.go).
+	{"multisite-bcast", "flat vs hierarchical broadcast on an N-site topology (latency + per-link WAN bytes)", multisiteBcast},
+	{"multisite-allreduce", "flat vs hierarchical allreduce latency on an N-site topology", multisiteAllreduce},
+	{"multisite-nfs", "NFS/RDMA read throughput from each satellite site to a central server", multisiteNFS},
+	{"multisite-loss", "RC goodput across an N-site topology with one WAN link killed per series", multisiteLoss},
 }
 
 // ExperimentIDs lists the registered experiment identifiers, in the
@@ -169,6 +177,14 @@ var ExperimentIDs = func() []string {
 	}
 	return ids
 }()
+
+// Specs returns a copy of the experiment registry, in the paper's order
+// (the CLI's -list view).
+func Specs() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
 
 // Lookup returns the Spec registered under id.
 func Lookup(id string) (Spec, bool) {

@@ -3,7 +3,6 @@ package mpi
 import (
 	"encoding/binary"
 	"math"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -255,8 +254,11 @@ func nextPow2(n int) int {
 }
 
 // HierBcast is the paper's WAN-aware broadcast (§3.4, "MPI Broadcast
-// Performance"): the message crosses the WAN link exactly once, to a leader
-// in the remote cluster, and each cluster then broadcasts internally.
+// Performance"), generalized to N sites: the payload crosses each WAN link
+// on the site tree exactly once — forwarded leader-to-leader down the
+// breadth-first spanning tree of the site graph — and each site then
+// broadcasts internally. On the paper's two-site testbed this is exactly
+// the original algorithm (one crossing to the remote cluster's leader).
 func (r *Rank) HierBcast(p *sim.Proc, root int, data []byte, size int) []byte {
 	if data != nil {
 		size = len(data)
@@ -265,39 +267,39 @@ func (r *Rank) HierBcast(p *sim.Proc, root int, data []byte, size int) []byte {
 	defer endColl(r.beginColl("coll.hierbcast"))
 	tag := r.collTag(0)
 	wanTag := r.collTag(1)
-	// Partition ranks by cluster.
-	var local, remote []int
-	rootCluster := r.world.ranks[root].Cluster()
-	for _, rk := range r.world.ranks {
-		if rk.Cluster() == rootCluster {
-			local = append(local, rk.id)
-		} else {
-			remote = append(remote, rk.id)
+	rootSite := r.world.ranks[root].node.Site()
+	st := r.siteTree(rootSite)
+	mySite := r.node.Site()
+	mine := st.groups[mySite]
+	if len(st.order) == 1 {
+		return r.bcastTree(p, root, data, size, mine, tag)
+	}
+	localRoot := st.leader(mySite)
+	if mySite == rootSite {
+		localRoot = root
+	}
+	if r.id == localRoot {
+		if mySite != rootSite {
+			// One crossing of the link toward the root: receive from the
+			// parent site's local root.
+			parentSite := st.parent[mySite]
+			sender := st.leader(parentSite)
+			if parentSite == rootSite {
+				sender = root
+			}
+			req := r.Irecv(sender, wanTag, data, size)
+			got, _ := req.Wait(p)
+			size = got
+			if data != nil {
+				data = data[:got]
+			}
+		}
+		// Forward once over each child link, then fan out locally.
+		for _, child := range st.children(mySite) {
+			r.Send(p, st.leader(child), wanTag, data, size)
 		}
 	}
-	sort.Ints(local)
-	sort.Ints(remote)
-	if len(remote) == 0 {
-		return r.bcastTree(p, root, data, size, local, tag)
-	}
-	leader := remote[0]
-	switch {
-	case r.id == root:
-		// One WAN crossing, then the local tree.
-		r.Send(p, leader, wanTag, data, size)
-		return r.bcastTree(p, root, data, size, local, tag)
-	case r.id == leader:
-		req := r.Irecv(root, wanTag, data, size)
-		got, _ := req.Wait(p)
-		if data != nil {
-			data = data[:got]
-		}
-		return r.bcastTree(p, leader, data, got, remote, tag)
-	case r.Cluster() == rootCluster:
-		return r.bcastTree(p, root, data, size, local, tag)
-	default:
-		return r.bcastTree(p, leader, data, size, remote, tag)
-	}
+	return r.bcastTree(p, localRoot, data, size, mine, tag)
 }
 
 // Reduce sums float64 vectors onto root over a binomial tree and returns

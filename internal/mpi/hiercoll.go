@@ -28,10 +28,16 @@ func (r *Rank) groups() (mine, other []int) {
 	return mine, other
 }
 
-// HierBarrier synchronizes all ranks crossing the WAN exactly twice (one
-// leader handshake), instead of the dissemination barrier's log2(n) rounds
-// of potentially-crossing exchanges.
+// HierBarrier synchronizes all ranks crossing each WAN link of the site
+// tree exactly twice (a gather toward the root site and a release back
+// down), instead of the dissemination barrier's log2(n) rounds of
+// potentially-crossing exchanges. With two sites this degenerates to the
+// single leader handshake of the original design.
 func (r *Rank) HierBarrier(p *sim.Proc) {
+	if r.occupiedSites() > 2 {
+		r.hierBarrierTree(p)
+		return
+	}
 	r.collSeq++
 	tagGather := r.collTag(0)
 	tagWAN := r.collTag(1)
@@ -58,10 +64,14 @@ func (r *Rank) HierBarrier(p *sim.Proc) {
 	}
 }
 
-// HierAllreduce sums float64 vectors with cluster-local reduction, a single
-// leader exchange over the WAN, and cluster-local broadcast: the WAN is
-// crossed once in each direction regardless of n.
+// HierAllreduce sums float64 vectors with site-local reduction, leader
+// exchanges along the site tree, and site-local broadcast: each WAN link
+// of the tree is crossed once in each direction regardless of n. With two
+// sites this degenerates to the original single leader exchange.
 func (r *Rank) HierAllreduce(p *sim.Proc, vals []float64) []float64 {
+	if r.occupiedSites() > 2 {
+		return r.hierAllreduceTree(p, vals)
+	}
 	r.collSeq++
 	tagReduce := r.collTag(0)
 	tagWAN := r.collTag(1)
@@ -73,27 +83,7 @@ func (r *Rank) HierAllreduce(p *sim.Proc, vals []float64) []float64 {
 	leader := mine[0]
 	remoteLeader := other[0]
 	// Local binomial reduce onto the leader (positions within the group).
-	me := indexOf(mine, r.id)
-	n := len(mine)
-	acc := make([]float64, len(vals))
-	copy(acc, vals)
-	for mask := 1; mask < n; mask <<= 1 {
-		if me&mask != 0 {
-			parent := mine[me&^mask]
-			r.Send(p, parent, tagReduce, encodeF64(acc), 0)
-			acc = nil
-			break
-		}
-		if me+mask < n {
-			child := mine[me+mask]
-			buf := make([]byte, 8*len(vals))
-			got, _ := r.Recv(p, child, tagReduce, buf, 0)
-			vec := decodeF64(buf[:got])
-			for i := range acc {
-				acc[i] += vec[i]
-			}
-		}
-	}
+	acc := r.localReduce(p, mine, vals, tagReduce)
 	// Leaders exchange partial sums (one WAN round trip) and combine.
 	var result []byte
 	if r.id == leader {
@@ -109,6 +99,116 @@ func (r *Rank) HierAllreduce(p *sim.Proc, vals []float64) []float64 {
 		result = make([]byte, 8*len(vals))
 	}
 	// Local broadcast of the global result.
+	out := r.bcastTree(p, leader, result, 8*len(vals), mine, tagBcast)
+	return decodeF64(out)
+}
+
+// localReduce runs a binomial sum-reduction of vals onto ids[0] using
+// positions within the group; it returns the accumulated vector on ids[0]
+// and nil on every other rank.
+func (r *Rank) localReduce(p *sim.Proc, ids []int, vals []float64, tag int) []float64 {
+	me := indexOf(ids, r.id)
+	n := len(ids)
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			parent := ids[me&^mask]
+			r.Send(p, parent, tag, encodeF64(acc), 0)
+			return nil
+		}
+		if me+mask < n {
+			child := ids[me+mask]
+			buf := make([]byte, 8*len(vals))
+			got, _ := r.Recv(p, child, tag, buf, 0)
+			vec := decodeF64(buf[:got])
+			for i := range acc {
+				acc[i] += vec[i]
+			}
+		}
+	}
+	return acc
+}
+
+// hierBarrierTree is the >=3-site barrier: site-local gather onto each
+// site leader, leader signals up the site tree, the root site's leader
+// releases back down, and each site broadcasts the release locally. Every
+// WAN link on the tree carries exactly one zero-byte message in each
+// direction.
+func (r *Rank) hierBarrierTree(p *sim.Proc) {
+	r.collSeq++
+	tagGather := r.collTag(0)
+	tagUp := r.collTag(1)
+	tagDown := r.collTag(2)
+	tagRelease := r.collTag(3)
+	rootSite := r.world.ranks[0].node.Site()
+	st := r.siteTree(rootSite)
+	mySite := r.node.Site()
+	mine := st.groups[mySite]
+	leader := st.leader(mySite)
+	if r.id != leader {
+		r.Send(p, leader, tagGather, nil, 0)
+		r.bcastTree(p, leader, nil, 0, mine, tagRelease)
+		return
+	}
+	// Gather arrivals from the local site, then from child sites.
+	for range mine[1:] {
+		r.Recv(p, AnySource, tagGather, nil, 0)
+	}
+	for _, c := range st.children(mySite) {
+		r.Recv(p, st.leader(c), tagUp, nil, 0)
+	}
+	if mySite != rootSite {
+		parent := st.leader(st.parent[mySite])
+		r.Send(p, parent, tagUp, nil, 0)
+		r.Recv(p, parent, tagDown, nil, 0)
+	}
+	for _, c := range st.children(mySite) {
+		r.Send(p, st.leader(c), tagDown, nil, 0)
+	}
+	r.bcastTree(p, leader, nil, 0, mine, tagRelease)
+}
+
+// hierAllreduceTree is the >=3-site allreduce: site-local reduce onto each
+// leader, partial sums combined up the site tree, the global vector pushed
+// back down, then site-local broadcast. Each WAN link on the tree carries
+// the vector exactly once in each direction.
+func (r *Rank) hierAllreduceTree(p *sim.Proc, vals []float64) []float64 {
+	r.collSeq++
+	tagReduce := r.collTag(0)
+	tagUp := r.collTag(1)
+	tagDown := r.collTag(2)
+	tagBcast := r.collTag(3)
+	rootSite := r.world.ranks[0].node.Site()
+	st := r.siteTree(rootSite)
+	mySite := r.node.Site()
+	mine := st.groups[mySite]
+	leader := st.leader(mySite)
+	acc := r.localReduce(p, mine, vals, tagReduce)
+	var result []byte
+	if r.id == leader {
+		for _, c := range st.children(mySite) {
+			buf := make([]byte, 8*len(vals))
+			got, _ := r.Recv(p, st.leader(c), tagUp, buf, 0)
+			vec := decodeF64(buf[:got])
+			for i := range acc {
+				acc[i] += vec[i]
+			}
+		}
+		if mySite != rootSite {
+			parent := st.leader(st.parent[mySite])
+			r.Send(p, parent, tagUp, encodeF64(acc), 0)
+			buf := make([]byte, 8*len(vals))
+			got, _ := r.Recv(p, parent, tagDown, buf, 0)
+			acc = decodeF64(buf[:got])
+		}
+		for _, c := range st.children(mySite) {
+			r.Send(p, st.leader(c), tagDown, encodeF64(acc), 0)
+		}
+		result = encodeF64(acc)
+	} else {
+		result = make([]byte, 8*len(vals))
+	}
 	out := r.bcastTree(p, leader, result, 8*len(vals), mine, tagBcast)
 	return decodeF64(out)
 }

@@ -36,9 +36,14 @@ func DelayForDistance(km float64) (sim.Time, error) {
 	return sim.Micros(km * MicrosPerKM), nil
 }
 
-// DistanceForDelay inverts DelayForDistance.
-func DistanceForDelay(d sim.Time) float64 {
-	return d.Microseconds() / MicrosPerKM
+// DistanceForDelay inverts DelayForDistance. A negative delay is an error,
+// mirroring the validation on the forward direction (a negative emulated
+// wire length is meaningless).
+func DistanceForDelay(d sim.Time) (float64, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("wan: negative delay %v", d)
+	}
+	return d.Microseconds() / MicrosPerKM, nil
 }
 
 // Longbow is one WAN extender device. On the fabric it behaves as a switch
@@ -65,8 +70,17 @@ type Pair struct {
 // link with the given one-way delay. The caller connects each Longbow's
 // cluster-side to a cluster switch or HCA.
 func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
-	a := &Longbow{name: name + "-A", sw: f.AddSwitch(name+"-A", ForwardingDelay)}
-	b := &Longbow{name: name + "-B", sw: f.AddSwitch(name+"-B", ForwardingDelay)}
+	return NewPairBetween(f, name, "A", "B", delay)
+}
+
+// NewPairBetween is NewPair with explicit end labels: the Longbow facing
+// end endA is named name-endA, the other name-endB. Multi-link topologies
+// use it to give every Longbow — and the telemetry tracks keyed on device
+// names — a name identifying its link and side; NewPair's classic "A"/"B"
+// labels are the two-site special case.
+func NewPairBetween(f *ib.Fabric, name, endA, endB string, delay sim.Time) *Pair {
+	a := &Longbow{name: name + "-" + endA, sw: f.AddSwitch(name+"-"+endA, ForwardingDelay)}
+	b := &Longbow{name: name + "-" + endB, sw: f.AddSwitch(name+"-"+endB, ForwardingDelay)}
 	link := f.Connect(a.sw, b.sw, WANRate, delay)
 	// The long-haul hop is where utilization and queueing telemetry lives.
 	link.MarkWAN()
@@ -95,7 +109,12 @@ func (p *Pair) SetDistanceKM(km float64) error {
 func (p *Pair) Delay() sim.Time { return p.link.Delay() }
 
 // DistanceKM returns the emulated wire length for the configured delay.
-func (p *Pair) DistanceKM() float64 { return DistanceForDelay(p.link.Delay()) }
+func (p *Pair) DistanceKM() float64 {
+	// The link's delay is non-negative by construction, so the inverse
+	// cannot fail here.
+	km, _ := DistanceForDelay(p.link.Delay())
+	return km
+}
 
 // Link exposes the WAN link for fault injection in tests.
 func (p *Pair) Link() *ib.Link { return p.link }

@@ -27,8 +27,12 @@ func TestDelayDistanceMapping(t *testing.T) {
 		if got != c.want {
 			t.Errorf("DelayForDistance(%v) = %v, want %v", c.km, got, c.want)
 		}
-		if got := DistanceForDelay(c.want); got != c.km {
-			t.Errorf("DistanceForDelay(%v) = %v, want %v", c.want, got, c.km)
+		got2, err := DistanceForDelay(c.want)
+		if err != nil {
+			t.Fatalf("DistanceForDelay(%v): %v", c.want, err)
+		}
+		if got2 != c.km {
+			t.Errorf("DistanceForDelay(%v) = %v, want %v", c.want, got2, c.km)
 		}
 	}
 }
@@ -36,6 +40,11 @@ func TestDelayDistanceMapping(t *testing.T) {
 func TestNegativeDistanceErrors(t *testing.T) {
 	if _, err := DelayForDistance(-1); err == nil {
 		t.Fatal("negative distance did not return an error")
+	}
+	// The inverse must validate too: a negative delay has no emulated
+	// wire length.
+	if _, err := DistanceForDelay(-sim.Micros(1)); err == nil {
+		t.Fatal("DistanceForDelay(-1us) did not return an error")
 	}
 	env := sim.NewEnv()
 	f := ib.NewFabric(env)
