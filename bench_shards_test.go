@@ -1,0 +1,68 @@
+package repro
+
+// Sharded-scheduler benchmarks: one mesh4 world (4 sites, a WAN link per
+// site pair) running hierarchical allreduce + broadcast traffic, executed
+// single-heap (shards=1) and with one shard worker per site (shards=4).
+// Contrasting the two tracks the conservative parallel scheduler's speedup
+// in events/s; the headline numbers live in BENCH_shards.json (regenerate
+// with `go test -bench BenchmarkShardedMultisite -run - .`). On a
+// single-core host the shard workers can only timeshare, so ~1x is
+// expected there.
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// shardedMultisiteWorkload builds a mesh4 world with the given shard worker
+// count, runs a collective-heavy workload across all four sites, and
+// returns the number of simulation events executed.
+func shardedMultisiteWorkload(b *testing.B, shardWorkers int) int64 {
+	b.Helper()
+	env := sim.NewEnv()
+	env.SetShardWorkers(shardWorkers)
+	spec, err := topo.Preset("mesh4", 2, sim.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := topo.Build(env, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if shardWorkers > 1 && !env.Sharded() {
+		b.Fatal("mesh4 world did not partition")
+	}
+	w := mpi.NewWorld(nw.Env, nw.Nodes(), mpi.Config{})
+	w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		vec := make([]float64, 1024)
+		for i := 0; i < 3; i++ {
+			r.HierAllreduce(p, vec)
+			r.HierBcast(p, 0, nil, 64<<10)
+			r.Allreduce(p, vec)
+		}
+	})
+	w.Shutdown()
+	return env.Executed()
+}
+
+func BenchmarkShardedMultisite1(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += shardedMultisiteWorkload(b, 1)
+	}
+	reportKernelRate(b, events)
+}
+
+func BenchmarkShardedMultisite4(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		events += shardedMultisiteWorkload(b, 4)
+	}
+	b.ReportMetric(4, "shard_workers")
+	reportKernelRate(b, events)
+}

@@ -16,6 +16,10 @@
 // Every experiment expands into independent measurement points (one
 // simulated testbed per point) that run on a bounded worker pool; -par
 // controls the pool size and output is byte-identical at any parallelism.
+// Orthogonally, -shards lets each multi-site world run its sites as
+// parallel event shards under a conservative WAN-lookahead scheduler —
+// again with byte-identical output at any value (see DESIGN.md, "Parallel
+// execution").
 //
 // Examples:
 //
@@ -32,6 +36,7 @@
 //	ibwan-exp -quick -fault wan-loss=0.01 fig5      # chaos: 1% WAN packet loss
 //	ibwan-exp -quick -fault wan-down fig8           # chaos: WAN dead, ERR rows
 //	ibwan-exp -quick -topo ring4 multisite-bcast    # 4-site ring, flat vs hier bcast
+//	ibwan-exp -quick -topo mesh4 -shards 4 multisite-allreduce  # sharded 4-site world
 //	ibwan-exp -list                                 # experiment ids + descriptions
 //
 // Every output path (-json, -bench, -cpuprofile, -memprofile, -trace-out,
@@ -77,6 +82,7 @@ func main() {
 	topoName := flag.String("topo", "star3", "site topology preset for the multisite-* family ("+strings.Join(topo.PresetNames(), "|")+")")
 	list := flag.Bool("list", false, "list the experiment registry with one-line descriptions and exit")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "measurement points run concurrently (output is identical at any value)")
+	shards := flag.Int("shards", 1, "OS workers per simulation world: a shardable multi-site world runs one event shard per site on up to this many workers (output is identical at any value)")
 	progress := flag.Bool("progress", false, "live per-point status line on stderr")
 	jsonOut := flag.String("json", "", "write a JSON report (metrics + table data) to this file ('-' = stdout, suppresses tables)")
 	benchOut := flag.String("bench", "", "time each experiment at -par 1 vs -par N and write the comparison JSON to this file (suppresses tables)")
@@ -132,6 +138,31 @@ func main() {
 		}
 	}
 	ropt := core.RunnerOptions{Workers: *par}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: -shards must be at least 1 (got %d)\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		maxProcs := runtime.GOMAXPROCS(0)
+		if flagSet("par") && flagSet("shards") && *par**shards > maxProcs {
+			// Points and shards multiply: -par worlds each running -shards
+			// workers. Refuse a combination that can only thrash rather than
+			// silently timesharing it.
+			fmt.Fprintf(os.Stderr, "ibwan-exp: -par %d x -shards %d needs %d OS workers but GOMAXPROCS is %d; lower -par or -shards (they multiply: each of -par concurrent points runs -shards shard workers)\n",
+				*par, *shards, *par**shards, maxProcs)
+			os.Exit(2)
+		}
+		if !flagSet("par") {
+			// Give the shard workers their share of the machine instead of
+			// letting the default point pool claim every core.
+			if p := maxProcs / *shards; p > 1 {
+				ropt.Workers = p
+			} else {
+				ropt.Workers = 1
+			}
+		}
+		ropt.ShardWorkers = *shards
+	}
 	if *progress {
 		ropt.Progress = os.Stderr
 	}

@@ -19,7 +19,7 @@ func TestMPIOverLossyWAN(t *testing.T) {
 	tb := cluster.New(env, cluster.Config{NodesA: 1, NodesB: 1, Delay: sim.Micros(100)})
 	// Drop every 97th wire packet crossing the WAN.
 	n := 0
-	tb.WAN.Link().DropFn = func(wire int) bool {
+	tb.WAN.Link().DropFn = func(_ sim.Time, wire int) bool {
 		n++
 		return n%97 == 0
 	}

@@ -66,12 +66,19 @@ type Meter struct {
 	// is seeded either by the runner (RunnerOptions.Fault, a run-wide
 	// chaos plan) or by the point itself (WithFault, the loss-* family).
 	fault *fault.Plan
+	// shardWorkers > 1 marks every environment the point creates as
+	// eligible for per-site sharding (topo.Build partitions when the
+	// topology and fault plan allow it; see RunnerOptions.ShardWorkers).
+	shardWorkers int
 }
 
 // NewEnv creates a simulation environment owned by this point.
 func (m *Meter) NewEnv() *sim.Env {
 	env := sim.NewEnv()
 	if m != nil {
+		if m.shardWorkers > 1 {
+			env.SetShardWorkers(m.shardWorkers)
+		}
 		if m.tel != nil {
 			telemetry.Attach(env, m.tel)
 		}
@@ -128,6 +135,29 @@ func (m *Meter) Events() int64 {
 		n += e.Executed()
 	}
 	return n
+}
+
+// recordShardStats publishes the parallel scheduler's progress counters for
+// every partitioned world the point ran: total windows, and per-shard
+// dispatched-event and barrier-stall counts. Counters are atomic and keyed
+// per shard index, so concurrent points on the worker pool aggregate
+// race-free. No-op without a metrics registry or on unsharded points.
+func (m *Meter) recordShardStats() {
+	if m == nil || m.tel == nil || m.tel.Metrics == nil {
+		return
+	}
+	reg := m.tel.Metrics
+	for _, e := range m.envs {
+		windows, shards := e.WindowStats()
+		if shards == nil {
+			continue
+		}
+		reg.Counter("sim.shard.windows").Add(windows)
+		for _, s := range shards {
+			reg.Counter(fmt.Sprintf("sim.shard.%d.executed", s.Shard)).Add(s.Executed)
+			reg.Counter(fmt.Sprintf("sim.shard.%d.stalls", s.Shard)).Add(s.Stalls)
+		}
+	}
 }
 
 // close shuts down every tracked environment, killing parked processes so

@@ -43,6 +43,15 @@ type RunnerOptions struct {
 	// each point draws from its own injector streams regardless of worker
 	// count.
 	Fault *fault.Plan
+	// ShardWorkers > 1 lets each point's simulation world run sharded: a
+	// shardable multi-site topology splits into per-site event shards
+	// driven by up to this many OS workers under the conservative
+	// WAN-lookahead window protocol (the CLI -shards flag). Orthogonal to
+	// Workers, which parallelizes across points: Workers*ShardWorkers is
+	// the peak OS-thread demand. Rendered output is byte-identical at any
+	// value — worlds that cannot shard safely just run single-heap. Span
+	// recording forces both to 1 (the recorder is single-writer).
+	ShardWorkers int
 }
 
 func (o RunnerOptions) workers(points int) int {
@@ -140,8 +149,10 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 	pl := spec.Build(opt)
 	start := time.Now()
 	workers := ropt.workers(len(pl.Points))
+	shardWorkers := ropt.ShardWorkers
 	if ropt.Telemetry != nil && ropt.Telemetry.Spans != nil {
-		workers = 1 // the span recorder is single-writer
+		workers = 1      // the span recorder is single-writer
+		shardWorkers = 1 // and shards would write it concurrently
 	}
 	agg := ExperimentMetrics{ID: spec.ID, Points: len(pl.Points), Workers: workers}
 
@@ -161,13 +172,14 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 			defer wg.Done()
 			for i := range idx {
 				pt := &pl.Points[i]
-				m := &Meter{tel: ropt.Telemetry, fault: ropt.Fault}
+				m := &Meter{tel: ropt.Telemetry, fault: ropt.Fault, shardWorkers: shardWorkers}
 				t0 := time.Now()
 				y, err := runPoint(pt, m)
 				if err != nil {
 					errs[i] = err.Error()
 				}
 				pt.commit(y)
+				m.recordShardStats()
 				m.close()
 				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
 					// Harness span covering the point, then advance the

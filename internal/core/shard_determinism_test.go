@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// multisiteIDs lists the experiments that build N-site topologies — the
+// family that actually partitions into shards.
+func multisiteIDs() []string {
+	var ids []string
+	for _, id := range ExperimentIDs {
+		if strings.HasPrefix(id, "multisite-") {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestShardedMatchesSequential is the determinism matrix for the sharded
+// scheduler: for every multisite experiment and every topology preset, the
+// rendered output must be byte-identical across -shards=1, -shards=N and
+// the point-parallel -par=8 path, with and without a wan-flap fault plan.
+func TestShardedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism matrix skipped in -short mode")
+	}
+	flap := &fault.Plan{Seed: 7, WANFlaps: []fault.FlapStep{
+		{At: 2 * sim.Millisecond, Down: true},
+		{At: 6 * sim.Millisecond, Down: false},
+	}}
+	for _, preset := range topo.PresetNames() {
+		opt := Options{Quick: true, Topo: preset}
+		for _, id := range multisiteIDs() {
+			for _, plan := range []*fault.Plan{nil, flap} {
+				plan := plan
+				name := preset + "/" + id
+				if plan != nil {
+					name += "/wan-flap"
+				}
+				t.Run(name, func(t *testing.T) {
+					base := renderTables(RunWith(id, opt, RunnerOptions{Workers: 1, Fault: plan}))
+					for _, ropt := range []RunnerOptions{
+						{Workers: 1, ShardWorkers: 4},
+						{Workers: 8},
+						{Workers: 2, ShardWorkers: 2},
+					} {
+						ropt.Fault = plan
+						got := renderTables(RunWith(id, opt, ropt))
+						if got != base {
+							t.Fatalf("output diverges at workers=%d shards=%d\n--- sequential ---\n%s\n--- got ---\n%s",
+								ropt.Workers, ropt.ShardWorkers, base, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@ package fault
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/ib"
 	"repro/internal/sim"
@@ -147,12 +149,20 @@ type Injector struct {
 	// corruptP is the bit-corruption probability, applied after the loss
 	// models so clean packets can still be corrupted.
 	corruptP float64
-	// down and loss are the scheduled-fault levers (flaps, brownouts).
-	down bool
-	loss float64
+	// down is the base down/up state (the WANDown lever, SetDown). flaps,
+	// when non-empty, override it from the first step's time onward: the
+	// link state is then a pure function of simulated time (see downAt),
+	// never a mutation, which is what lets both directions of a WAN link —
+	// dispatched on different shards of a partitioned world — consult the
+	// injector concurrently. loss is the brownout lever and still mutates
+	// through scheduled closures, which is why brownout plans are not
+	// ShardSafe.
+	down  bool
+	flaps []FlapStep
+	loss  float64
 
-	drops    int64 // packets dropped (loss models, brownouts, down link)
-	corrupts int64 // packets corrupted (discarded at the receiver's CRC)
+	drops    atomic.Int64 // packets dropped (loss models, brownouts, down link)
+	corrupts atomic.Int64 // packets corrupted (discarded at the receiver's CRC)
 }
 
 // NewInjector creates an injector drawing from its own seeded stream.
@@ -172,38 +182,59 @@ func (in *Injector) SetCorruption(p float64) error {
 	return nil
 }
 
-// SetDown forces the down/up state directly (tests and the WANDown plan
-// lever; scheduled flaps use ScheduleFlaps).
+// SetDown forces the base down/up state directly (tests and the WANDown
+// plan lever; scheduled flaps use ScheduleFlaps). With a flap schedule
+// armed, the base state only applies before the first step.
 func (in *Injector) SetDown(down bool) { in.down = down }
 
-// Down reports whether the attachment point is currently down.
-func (in *Injector) Down() bool { return in.down }
+// Down reports whether the attachment point is down at the current
+// simulated time.
+func (in *Injector) Down() bool { return in.downAt(in.env.Now()) }
+
+// downAt reports the link's down/up state at time now: the Down value of
+// the last flap step with At <= now, or the base state before the first
+// step. The boundary matches the old timer encoding (a step's closure armed
+// at construction carried an earlier sequence number than any packet event
+// created afterwards, so a packet sent at exactly the step time already saw
+// the new state).
+func (in *Injector) downAt(now sim.Time) bool {
+	i := sort.Search(len(in.flaps), func(i int) bool { return in.flaps[i].At > now })
+	if i == 0 {
+		return in.down
+	}
+	return in.flaps[i-1].Down
+}
 
 // Drops returns the number of packets dropped so far.
-func (in *Injector) Drops() int64 { return in.drops }
+func (in *Injector) Drops() int64 { return in.drops.Load() }
 
 // Corrupts returns the number of packets corrupted so far.
-func (in *Injector) Corrupts() int64 { return in.corrupts }
+func (in *Injector) Corrupts() int64 { return in.corrupts.Load() }
 
-// DropWire decides the fate of one packet of wireBytes on the wire. It is
-// the func installed into ib.Link.DropFn / the tcpsim drop hook.
-func (in *Injector) DropWire(wireBytes int) bool {
-	if in.down {
-		in.drops++
+// DropWire decides the fate of one packet of wireBytes on the wire at
+// simulated time now. It is the func installed into ib.Link.DropFn (the
+// tcpsim segment hook wraps it with the stack's clock). The down/flap
+// check draws no randomness and reads only time-pure state, and the drop
+// counters are atomic, so down/flap-only injectors (Plan.ShardSafe) are
+// safe to consult from both shards sharing a WAN link; every other lever
+// advances the private RNG stream and must stay single-shard.
+func (in *Injector) DropWire(now sim.Time, wireBytes int) bool {
+	if in.downAt(now) {
+		in.drops.Add(1)
 		return true
 	}
 	if in.loss > 0 && in.rng.Float64() < in.loss {
-		in.drops++
+		in.drops.Add(1)
 		return true
 	}
 	for _, m := range in.models {
 		if m.Drop(in.rng, wireBytes) {
-			in.drops++
+			in.drops.Add(1)
 			return true
 		}
 	}
 	if in.corruptP > 0 && in.rng.Float64() < in.corruptP {
-		in.corrupts++
+		in.corrupts.Add(1)
 		return true
 	}
 	return false
@@ -213,12 +244,18 @@ func (in *Injector) DropWire(wireBytes int) bool {
 // directions of the link share this injector (and its stream).
 func (in *Injector) AttachLink(l *ib.Link) { l.DropFn = in.DropWire }
 
-// ScheduleFlaps validates the whole flap schedule and then arms it. Steps
-// must be sorted by time and not in the simulated past; on any violation
-// nothing is armed and the error describes the offending step.
+// ScheduleFlaps validates the whole flap schedule and then arms it by
+// appending to the injector's stored schedule (the state is computed from
+// the schedule at packet time, not mutated by timers). Steps must be
+// sorted by time, not in the simulated past, and not before any step
+// already armed; on any violation nothing is armed and the error describes
+// the offending step.
 func (in *Injector) ScheduleFlaps(steps []FlapStep) error {
 	now := in.env.Now()
 	prev := sim.Time(-1)
+	if n := len(in.flaps); n > 0 {
+		prev = in.flaps[n-1].At
+	}
 	for i, s := range steps {
 		if s.At < now {
 			return fmt.Errorf("fault: flap step %d at %v is in the past (now %v)", i, s.At, now)
@@ -228,10 +265,7 @@ func (in *Injector) ScheduleFlaps(steps []FlapStep) error {
 		}
 		prev = s.At
 	}
-	for _, s := range steps {
-		down := s.Down
-		in.env.At(s.At-now, func() { in.down = down })
-	}
+	in.flaps = append(in.flaps, steps...)
 	return nil
 }
 

@@ -49,7 +49,7 @@ func TestInjectorDeterminism(t *testing.T) {
 		}
 		out := make([]bool, 5000)
 		for i := range out {
-			out[i] = in.DropWire(2048)
+			out[i] = in.DropWire(0, 2048)
 		}
 		return out
 	}
@@ -69,7 +69,7 @@ func TestBernoulliRate(t *testing.T) {
 	const n = 100000
 	drops := 0
 	for i := 0; i < n; i++ {
-		if in.DropWire(1500) {
+		if in.DropWire(0, 1500) {
 			drops++
 		}
 	}
@@ -121,14 +121,14 @@ func TestDownDominates(t *testing.T) {
 	in := NewInjector(env, 1)
 	in.SetDown(true)
 	for i := 0; i < 100; i++ {
-		if !in.DropWire(64) {
+		if !in.DropWire(0, 64) {
 			t.Fatal("packet survived a down link")
 		}
 	}
 	in.SetDown(false)
 	dropped := false
 	for i := 0; i < 100; i++ {
-		if in.DropWire(64) {
+		if in.DropWire(0, 64) {
 			dropped = true
 		}
 	}

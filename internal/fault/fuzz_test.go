@@ -84,7 +84,7 @@ func FuzzSchedule(f *testing.F) {
 			d := sim.Time(i) * 200 * sim.Millisecond
 			env.At(d, func() {
 				if link.DropFn != nil {
-					link.DropFn(1500)
+					link.DropFn(env.Now(), 1500)
 				}
 			})
 		}

@@ -136,6 +136,21 @@ func (p *Plan) wanEnabled() bool {
 // Enabled reports whether the plan arms any fault at all.
 func (p *Plan) Enabled() bool { return p.wanEnabled() || p.TCPLoss > 0 }
 
+// ShardSafe reports whether the plan may be armed on a partitioned
+// (sharded) world. Only the WANDown and WANFlaps levers qualify: both are
+// pure functions of simulated time (see Injector.downAt) and draw no
+// randomness, so the two directions of a WAN link can consult the shared
+// injector from different shards without racing or perturbing the RNG
+// stream. Every other lever either draws per-packet randomness (loss,
+// burst, corruption) or mutates injector/link state through scheduled
+// closures (brownouts, rate throttling, TCP loss), all of which require
+// the single-heap event order; topo.Build refuses to partition when such a
+// plan is attached.
+func (p *Plan) ShardSafe() bool {
+	return p == nil || !(p.WANLoss > 0 || p.WANBurst != nil || p.WANCorrupt > 0 ||
+		len(p.WANBrownouts) > 0 || len(p.WANRates) > 0 || p.TCPLoss > 0)
+}
+
 // AttachPlan validates p and installs it on the environment's fault slot.
 // It must run before the testbed is built (wan.NewPair and tcpsim.NewStack
 // read the slot at construction time).
@@ -178,15 +193,12 @@ func (p *Plan) ArmWAN(env *sim.Env, link *ib.Link) *Injector {
 		in.Use(NewGilbertElliott(*p.WANBurst))
 	}
 	in.corruptP = p.WANCorrupt
+	// The flap schedule is stored, not armed as timers: the injector
+	// resolves the down/up state from it at packet time (downAt), so steps
+	// in the past are naturally in effect and sharded worlds read it
+	// without synchronization.
+	in.flaps = p.WANFlaps
 	now := env.Now()
-	for _, s := range p.WANFlaps {
-		if s.At <= now {
-			in.down = s.Down
-			continue
-		}
-		down := s.Down
-		env.At(s.At-now, func() { in.down = down })
-	}
 	for _, s := range p.WANBrownouts {
 		if s.At <= now {
 			in.loss = s.Loss

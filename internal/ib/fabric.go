@@ -2,6 +2,7 @@ package ib
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -21,18 +22,31 @@ type Device interface {
 	routeTo(dst LID) *Port
 	setRoute(dst LID, p *Port)
 	fabric() *Fabric
+	// environment returns the device's home environment: the shard view it
+	// was created under (see Fabric.UseEnv), or the fabric environment on
+	// unsharded fabrics.
+	environment() *sim.Env
 }
 
 // Fabric is an InfiniBand subnet: devices, links, LID assignment and
 // routing. It plays the role of the subnet manager.
 type Fabric struct {
-	env      *sim.Env
+	env *sim.Env
+	// cur is the environment new devices are created on (UseEnv); it
+	// defaults to env and only ever differs on sharded topologies, where
+	// each site's devices live on that site's shard view.
+	cur *sim.Env
+	// sharded is set once UseEnv installs a view of a partitioned world:
+	// from then on the id counters may be bumped from concurrent shards
+	// (they are atomics) and the packet/transfer freelists are bypassed —
+	// LIFO reuse across shards would race, and leaking to the GC is safe.
+	sharded  bool
 	devices  []Device
 	byLID    map[LID]Device
 	nextLID  LID
-	nextQPN  int
-	nextMsg  int64
-	nextMRID int
+	nextQPN  atomic.Int64
+	nextMsg  atomic.Int64
+	nextMRID atomic.Int64
 	routed   bool
 	tracer   Tracer
 	// obs is non-nil only when a telemetry session is attached to the
@@ -51,8 +65,13 @@ type Fabric struct {
 }
 
 // newPacket returns a packet from the freelist (or a fresh one). The caller
-// overwrites every field; packets come back zeroed from freePacket.
+// overwrites every field; packets come back zeroed from freePacket. On a
+// sharded fabric packets are always fresh: the freelist belongs to no
+// single shard.
 func (f *Fabric) newPacket() *packet {
+	if f.sharded {
+		return &packet{}
+	}
 	if n := len(f.pktFree); n > 0 {
 		pkt := f.pktFree[n-1]
 		f.pktFree = f.pktFree[:n-1]
@@ -67,7 +86,9 @@ func (f *Fabric) newPacket() *packet {
 func (f *Fabric) freePacket(pkt *packet) {
 	t := pkt.msg
 	*pkt = packet{}
-	f.pktFree = append(f.pktFree, pkt)
+	if !f.sharded {
+		f.pktFree = append(f.pktFree, pkt)
+	}
 	if t != nil {
 		f.unref(t)
 	}
@@ -77,21 +98,21 @@ func (f *Fabric) freePacket(pkt *packet) {
 // Ids stay monotonic across recycling, so id-keyed state (QP inflight maps,
 // retry timers) can never confuse two uses of the same memory.
 func (f *Fabric) newTransfer() *transfer {
-	f.nextMsg++
+	id := f.nextMsg.Add(1)
 	var t *transfer
-	if n := len(f.xferFree); n > 0 {
+	if n := len(f.xferFree); !f.sharded && n > 0 {
 		t = f.xferFree[n-1]
 		f.xferFree = f.xferFree[:n-1]
 	} else {
 		t = &transfer{}
 	}
-	t.id = f.nextMsg
+	t.id = id
 	return t
 }
 
 // ref records a live reference to t: a packet on the wire carrying it, or a
 // scheduled protocol action (overhead stage, ack emission) that captured it.
-func (f *Fabric) ref(t *transfer) { t.refs++ }
+func (f *Fabric) ref(t *transfer) { t.refs.Add(1) }
 
 // unref releases one reference and recycles t if it was the last and both
 // endpoints are done. Transfers that never reach that state (e.g. a UD
@@ -99,8 +120,7 @@ func (f *Fabric) ref(t *transfer) { t.refs++ }
 // back to the garbage collector — leaking to the GC is safe, recycling too
 // early is not.
 func (f *Fabric) unref(t *transfer) {
-	t.refs--
-	if t.refs < 0 {
+	if t.refs.Add(-1) < 0 {
 		panic("ib: transfer reference count underflow")
 	}
 	f.maybeFree(t)
@@ -108,10 +128,15 @@ func (f *Fabric) unref(t *transfer) {
 
 // maybeFree recycles t once nothing can touch it again: no wire packet or
 // scheduled action references it, the initiator has completed it
-// (senderDone) and the responder has finished with it (recvDone).
+// (senderDone) and the responder has finished with it (recvDone). Sharded
+// fabrics never recycle (a transfer's last toucher can be either endpoint's
+// shard); the transfer is left to the garbage collector.
 func (f *Fabric) maybeFree(t *transfer) {
-	if t.refs == 0 && t.senderDone && t.recvDone {
-		*t = transfer{}
+	if f.sharded {
+		return
+	}
+	if t.refs.Load() == 0 && t.senderDone.Load() && t.recvDone.Load() {
+		t.reset()
 		f.xferFree = append(f.xferFree, t)
 	}
 }
@@ -120,7 +145,8 @@ func (f *Fabric) maybeFree(t *transfer) {
 // If the environment carries a telemetry attachment (telemetry.Attach), the
 // fabric arms its instrumentation; otherwise observation costs nothing.
 func NewFabric(env *sim.Env) *Fabric {
-	f := &Fabric{env: env, byLID: make(map[LID]Device), nextLID: 1, nextQPN: 1}
+	f := &Fabric{env: env, cur: env, byLID: make(map[LID]Device), nextLID: 1}
+	f.nextQPN.Store(1)
 	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
 		f.obs = newFabObs(tel)
 	}
@@ -130,6 +156,19 @@ func NewFabric(env *sim.Env) *Fabric {
 // Env returns the simulation environment of the fabric.
 func (f *Fabric) Env() *sim.Env { return f.env }
 
+// UseEnv selects the environment subsequently created devices live on. On a
+// sharded topology the compiler points it at each site's shard view before
+// building that site, so every device's timers, handlers and queues stay on
+// one shard; passing a view of a partitioned world also switches the fabric
+// into sharded mode (atomic ids, no cross-shard freelist reuse). Devices
+// already created are unaffected.
+func (f *Fabric) UseEnv(env *sim.Env) {
+	f.cur = env
+	if env.Sharded() {
+		f.sharded = true
+	}
+}
+
 func (f *Fabric) addDevice(d Device) {
 	d.setLID(f.nextLID)
 	f.byLID[f.nextLID] = d
@@ -138,28 +177,32 @@ func (f *Fabric) addDevice(d Device) {
 	f.routed = false
 }
 
-// AddHCA creates a host channel adapter end node.
+// AddHCA creates a host channel adapter end node (on the UseEnv
+// environment).
 func (f *Fabric) AddHCA(name string) *HCA {
-	h := &HCA{fab: f, name: name, qps: make(map[int]*QP), mrs: make(map[int]*MR)}
+	h := &HCA{fab: f, env: f.cur, name: name, qps: make(map[int]*QP), mrs: make(map[int]*MR)}
 	f.addDevice(h)
 	return h
 }
 
 // AddSwitch creates a switch with the given forwarding latency (use
-// ib.SwitchDelay for a normal cluster switch).
+// ib.SwitchDelay for a normal cluster switch) on the UseEnv environment.
 func (f *Fabric) AddSwitch(name string, forwardDelay sim.Time) *Switch {
-	s := &Switch{fab: f, name: name, fwd: forwardDelay, routes: make(map[LID]*Port)}
+	s := &Switch{fab: f, env: f.cur, name: name, fwd: forwardDelay, routes: make(map[LID]*Port)}
 	f.addDevice(s)
 	return s
 }
 
 // Connect joins two devices with a full-duplex link of the given data rate
 // and one-way propagation delay, returning the link so callers (e.g. the
-// WAN layer) can later adjust the delay.
+// WAN layer) can later adjust the delay. Each endpoint port lives on its
+// device's environment; when the two differ (a WAN link between shards)
+// delivery crosses through the kernel's mailbox path, and the propagation
+// delay must honor the world's registered lookahead bound.
 func (f *Fabric) Connect(a, b Device, rate Rate, prop sim.Time) *Link {
 	l := &Link{env: f.env, rate: rate, prop: prop}
-	pa := newPort(f.env, a, l)
-	pb := newPort(f.env, b, l)
+	pa := newPort(a.environment(), a, l)
+	pb := newPort(b.environment(), b, l)
 	pa.peer, pb.peer = pb, pa
 	l.a, l.b = pa, pb
 	a.attach(pa)
@@ -230,10 +273,14 @@ type Link struct {
 	prop sim.Time
 	a, b *Port
 	// DropFn, when non-nil, is consulted for every packet; returning true
-	// drops the packet on the wire (fault injection).
-	DropFn func(wireBytes int) bool
-	// drops counts packets removed by DropFn.
-	drops int64
+	// drops the packet on the wire (fault injection). now is the sending
+	// port's current virtual time — on sharded worlds the two ends of a WAN
+	// link live on different shards, so the decision must be a function of
+	// the passed time, not of state mutated by scheduled closures.
+	DropFn func(now sim.Time, wireBytes int) bool
+	// drops counts packets removed by DropFn (atomic: a WAN link's two
+	// ports may transmit from different shards).
+	drops atomic.Int64
 	// wan marks the link as the long-haul WAN hop (see MarkWAN); the
 	// telemetry layer records utilization and queue spans only there.
 	wan bool
@@ -271,7 +318,7 @@ func (l *Link) SetRate(r Rate) error {
 func (l *Link) Rate() Rate { return l.rate }
 
 // Drops returns the number of packets dropped by fault injection.
-func (l *Link) Drops() int64 { return l.drops }
+func (l *Link) Drops() int64 { return l.drops.Load() }
 
 // TxTotal returns the total wire bytes carried in both directions.
 func (l *Link) TxTotal() int64 { return l.a.txBytes + l.b.txBytes }
@@ -334,8 +381,8 @@ func (p *Port) send(pkt *packet) {
 		}
 	}
 	fab.trace("tx", p.dev, pkt)
-	if p.link.DropFn != nil && p.link.DropFn(pkt.wire) {
-		p.link.drops++
+	if p.link.DropFn != nil && p.link.DropFn(now, pkt.wire) {
+		p.link.drops.Add(1)
 		if fab.obs != nil {
 			fab.obs.linkDrops.Add(1)
 		}
@@ -344,7 +391,9 @@ func (p *Port) send(pkt *packet) {
 		return
 	}
 	arrive := depart + p.link.prop
-	p.env.AtArg(arrive-now, p.peer.deliverArg, pkt)
+	// The peer may live on another shard (the WAN hop of a sharded world);
+	// AtArgOn degrades to plain AtArg when both ports share an environment.
+	p.env.AtArgOn(p.peer.env, arrive-now, p.peer.deliverArg, pkt)
 }
 
 // TxBytes returns the total wire bytes transmitted from this port.
@@ -354,6 +403,7 @@ func (p *Port) TxBytes() int64 { return p.txBytes }
 // Longbow WAN extender operating in switch mode).
 type Switch struct {
 	fab    *Fabric
+	env    *sim.Env
 	name   string
 	lid    LID
 	fwd    sim.Time
@@ -373,11 +423,12 @@ func (s *Switch) setLID(l LID)            { s.lid = l }
 func (s *Switch) routeTo(dst LID) *Port   { return s.routes[dst] }
 func (s *Switch) setRoute(d LID, p *Port) { s.routes[d] = p }
 func (s *Switch) fabric() *Fabric         { return s.fab }
+func (s *Switch) environment() *sim.Env   { return s.env }
 
 func (s *Switch) receive(pkt *packet, on *Port) {
 	out := s.routes[pkt.dst]
 	if out == nil {
 		panic(fmt.Sprintf("ib: switch %s has no route to LID %d", s.name, pkt.dst))
 	}
-	s.fab.env.AtArg(s.fwd, out.sendArg, pkt)
+	s.env.AtArg(s.fwd, out.sendArg, pkt)
 }

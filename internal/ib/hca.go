@@ -10,6 +10,7 @@ import (
 // pairs and registered memory regions.
 type HCA struct {
 	fab   *Fabric
+	env   *sim.Env // home environment (the shard view on sharded fabrics)
 	name  string
 	lid   LID
 	port  *Port
@@ -27,8 +28,12 @@ func (h *HCA) LID() LID { return h.lid }
 // Fabric returns the owning fabric.
 func (h *HCA) Fabric() *Fabric { return h.fab }
 
-// Env returns the simulation environment.
-func (h *HCA) Env() *sim.Env { return h.fab.env }
+// Env returns the simulation environment the HCA lives on: its site's
+// shard view on sharded topologies, the fabric environment otherwise.
+// Layers hosting software on a node (MPI ranks, NFS clients and servers)
+// schedule through this, which is what keeps all of a node's work on its
+// own shard.
+func (h *HCA) Env() *sim.Env { return h.env }
 
 func (h *HCA) ports() []*Port {
 	if h.port == nil {
@@ -49,6 +54,7 @@ func (h *HCA) setLID(l LID)            { h.lid = l }
 func (h *HCA) routeTo(dst LID) *Port   { return h.route }
 func (h *HCA) setRoute(d LID, p *Port) { h.route = p }
 func (h *HCA) fabric() *Fabric         { return h.fab }
+func (h *HCA) environment() *sim.Env   { return h.env }
 
 // Port returns the HCA's single port (nil before Connect).
 func (h *HCA) FabricPort() *Port { return h.port }
@@ -61,14 +67,13 @@ func (h *HCA) receive(pkt *packet, on *Port) {
 	}
 	// Per-packet HCA processing is a pipeline latency stage. The QP's
 	// cached handler consumes the packet and recycles it.
-	h.fab.env.AtArg(PacketProc, qp.recvArg, pkt)
+	h.env.AtArg(PacketProc, qp.recvArg, pkt)
 }
 
 // RegisterMR registers buf as an RDMA-accessible memory region and returns
 // the region handle (which doubles as the rkey a peer must present).
 func (h *HCA) RegisterMR(buf []byte) *MR {
-	h.fab.nextMRID++
-	mr := &MR{id: h.fab.nextMRID, hca: h, Buf: buf}
+	mr := &MR{id: int(h.fab.nextMRID.Add(1)), hca: h, Buf: buf}
 	h.mrs[mr.id] = mr
 	return mr
 }
@@ -78,8 +83,7 @@ func (h *HCA) RegisterMR(buf []byte) *MR {
 // payload bytes. Perf-only traffic uses virtual regions to avoid allocating
 // and copying gigabytes of synthetic payload.
 func (h *HCA) RegisterVirtualMR(n int) *MR {
-	h.fab.nextMRID++
-	mr := &MR{id: h.fab.nextMRID, hca: h, virtualLen: n}
+	mr := &MR{id: int(h.fab.nextMRID.Add(1)), hca: h, virtualLen: n}
 	h.mrs[mr.id] = mr
 	return mr
 }

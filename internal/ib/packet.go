@@ -1,6 +1,10 @@
 package ib
 
-import "repro/internal/telemetry"
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
 
 type pktKind int
 
@@ -60,14 +64,39 @@ type transfer struct {
 	// this transfer plus scheduled protocol actions (overhead timers, ack
 	// emissions) that captured it. senderDone/recvDone flag that the
 	// initiating and responding endpoints have each finished with the
-	// transfer. The transfer is recycled when all three say so.
-	refs       int
-	senderDone bool
-	recvDone   bool
+	// transfer. The transfer is recycled when all three say so. The three
+	// are atomics because on a sharded world the two endpoints of a
+	// WAN-crossing transfer run on different shards; everything else in the
+	// struct is either endpoint-owned or handed across inside a packet,
+	// whose mailbox crossing establishes the ordering.
+	refs       atomic.Int32
+	senderDone atomic.Bool
+	recvDone   atomic.Bool
 
 	// span is the verbs-layer telemetry span covering the operation from
 	// post to completion (null when observation is off). WAN queue spans
 	// parent under it, and upper layers parent it under their protocol
 	// spans via SendWR.ParentSpan.
 	span telemetry.SpanRef
+}
+
+// reset zeroes the transfer for freelist reuse. Field-by-field rather than
+// a struct assignment: the atomics must not be copied.
+func (t *transfer) reset() {
+	t.id = 0
+	t.wr = SendWR{}
+	t.size = 0
+	t.origin = nil
+	t.qpSeq = 0
+	t.acked = false
+	t.retried = 0
+	t.got = 0
+	t.delivered = false
+	t.readData = nil
+	t.udData = nil
+	t.rwr = RecvWR{}
+	t.refs.Store(0)
+	t.senderDone.Store(false)
+	t.recvDone.Store(false)
+	t.span = telemetry.SpanRef{}
 }

@@ -240,8 +240,7 @@ func (h *HCA) CreateQP(cq *CQ, cfg QPConfig) *QP {
 	if cfg.RetryLimit == 0 {
 		cfg.RetryLimit = DefaultRetryLimit
 	}
-	h.fab.nextQPN++
-	qp := &QP{hca: h, qpn: h.fab.nextQPN, cfg: cfg, cq: cq,
+	qp := &QP{hca: h, qpn: int(h.fab.nextQPN.Add(1)), cfg: cfg, cq: cq,
 		inflight: make(map[int64]*transfer), reorder: make(map[int64]*transfer)}
 	qp.recvArg = func(v any) {
 		pkt := v.(*packet)
@@ -338,7 +337,11 @@ func (q *QP) receive(pkt *packet) {
 	}
 }
 
-func (q *QP) env() *sim.Env { return q.hca.fab.env }
+// env returns the QP's scheduling environment: the owning HCA's home
+// environment, i.e. the site shard view on a sharded fabric. All of a QP's
+// protocol timers and pipeline stages run on this environment; the only
+// cross-shard step is the wire delivery itself (Port.send → AtArgOn).
+func (q *QP) env() *sim.Env { return q.hca.env }
 
 func (q *QP) assertConnected() {
 	if q.remote == nil {

@@ -195,7 +195,7 @@ func (q *QP) retryExhausted(t *transfer) {
 	t.acked = true // poison against late acks from earlier attempts
 	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusRetryExceeded, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-	t.senderDone = true
+	t.senderDone.Store(true)
 	q.hca.fab.maybeFree(t)
 	// Flush the rest of the in-flight window in posting (id) order — map
 	// iteration order would be nondeterministic.
@@ -219,7 +219,7 @@ func (q *QP) flushTransfer(t *transfer) {
 	q.stats.Flushed++
 	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusFlushed, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-	t.senderDone = true
+	t.senderDone.Store(true)
 	q.hca.fab.maybeFree(t)
 }
 
@@ -302,7 +302,7 @@ func (q *QP) readDone(t *transfer) {
 	t.acked = true
 	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: OpRDMARead, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-	t.senderDone = true
+	t.senderDone.Store(true)
 	q.kick()
 	q.hca.fab.unref(t)
 }
@@ -346,7 +346,7 @@ func (q *QP) writeDone(t *transfer) {
 		q.cq.post(Completion{Op: OpRDMAWrite, Status: StatusOK, Bytes: t.size,
 			QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
 	}
-	t.recvDone = true
+	t.recvDone.Store(true)
 	q.hca.fab.unref(t)
 }
 
@@ -364,7 +364,7 @@ func (q *QP) deliverSend(t *transfer) {
 // recvComp posts the receive completion (the RecvOverheadSR stage).
 func (q *QP) recvComp(t *transfer) {
 	q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: t.rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
-	t.recvDone = true
+	t.recvDone.Store(true)
 	q.hca.fab.unref(t)
 }
 
@@ -405,7 +405,7 @@ func (q *QP) rcAck(pkt *packet) {
 	delete(q.inflight, t.id)
 	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-	t.senderDone = true
+	t.senderDone.Store(true)
 	q.kick()
 }
 
@@ -430,6 +430,6 @@ func (q *QP) rcReadReq(pkt *packet) {
 func (q *QP) readServe(t *transfer) {
 	port := q.hca.routeTo(q.remote.hca.lid)
 	q.sendDataPackets(port, q.remote, t, pktReadResp)
-	t.recvDone = true
+	t.recvDone.Store(true)
 	q.hca.fab.unref(t)
 }

@@ -39,7 +39,7 @@ func TestTracerSeesDrops(t *testing.T) {
 	var ct CountingTracer
 	a.Fabric().SetTracer(ct.Hook())
 	n := 0
-	l.DropFn = func(int) bool { n++; return n == 1 }
+	l.DropFn = func(sim.Time, int) bool { n++; return n == 1 }
 	qa, qb := CreateRCPair(a, b, nil, nil, QPConfig{RetryTimeout: 50 * sim.Microsecond})
 	env.Go("recv", func(p *sim.Proc) {
 		qb.PostRecv(RecvWR{})

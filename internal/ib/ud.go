@@ -54,7 +54,7 @@ func (q *QP) udSend(t *transfer) {
 	q.stats.BytesSent += int64(t.size)
 	q.endVerbsSpan(t) // UD completes at wire departure (open loop)
 	q.cq.post(Completion{Op: OpSend, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
-	t.senderDone = true
+	t.senderDone.Store(true)
 	fab.unref(t)
 }
 
@@ -69,7 +69,7 @@ func (q *QP) udReceive(pkt *packet) {
 		q.hca.fab.traceReason("drop", q.hca, pkt, "no-recv")
 		// Nothing on this end will ever touch the transfer again; the
 		// packet's reference (released by the caller) recycles it.
-		t.recvDone = true
+		t.recvDone.Store(true)
 		return
 	}
 	rwr := q.recvQ.Pop()

@@ -19,6 +19,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/ib"
@@ -91,7 +92,7 @@ type World struct {
 	env       *sim.Env
 	cfg       Config
 	ranks     []*Rank
-	profile   MessageProfile
+	profile   census
 	winStates map[int]*winState
 	// obs is non-nil only when telemetry is attached to the environment.
 	obs *mpiObs
@@ -121,17 +122,31 @@ type MessageProfile struct {
 	MaxMessage int
 }
 
-func (mp *MessageProfile) record(size int) {
-	mp.Msgs++
-	mp.Bytes += int64(size)
+// census is the world's internal message counter set. Ranks on a
+// partitioned world record sends concurrently from different shards, so
+// every field is atomic; Profile assembles the public snapshot.
+type census struct {
+	msgs       atomic.Int64
+	bytes      atomic.Int64
+	tinyMsgs   atomic.Int64
+	largeBytes atomic.Int64
+	maxMsg     atomic.Int64
+}
+
+func (c *census) record(size int) {
+	c.msgs.Add(1)
+	c.bytes.Add(int64(size))
 	if size < 1<<10 {
-		mp.TinyMsgs++
+		c.tinyMsgs.Add(1)
 	}
 	if size >= 32<<10 {
-		mp.LargeBytes += int64(size)
+		c.largeBytes.Add(int64(size))
 	}
-	if size > mp.MaxMessage {
-		mp.MaxMessage = size
+	for {
+		cur := c.maxMsg.Load()
+		if int64(size) <= cur || c.maxMsg.CompareAndSwap(cur, int64(size)) {
+			return
+		}
 	}
 }
 
@@ -153,7 +168,15 @@ func (mp MessageProfile) TinyCountFraction() float64 {
 }
 
 // Profile returns the accumulated message census.
-func (w *World) Profile() MessageProfile { return w.profile }
+func (w *World) Profile() MessageProfile {
+	return MessageProfile{
+		Msgs:       w.profile.msgs.Load(),
+		Bytes:      w.profile.bytes.Load(),
+		TinyMsgs:   w.profile.tinyMsgs.Load(),
+		LargeBytes: w.profile.largeBytes.Load(),
+		MaxMessage: int(w.profile.maxMsg.Load()),
+	}
+}
 
 // NewWorld creates a world with one rank per entry of placement (rank i
 // runs on placement[i]). Multiple ranks may share a node; they communicate
@@ -173,16 +196,32 @@ func NewWorld(env *sim.Env, placement []*cluster.Node, cfg Config) *World {
 		}
 	}
 	for i, node := range placement {
+		// The rank's CQ — and everything else it schedules — lives on its
+		// node's home environment, which on a partitioned world is the
+		// node's site shard.
 		r := &Rank{
 			world: w,
 			id:    i,
 			node:  node,
-			cq:    ib.NewCQ(env),
+			cq:    ib.NewCQ(node.HCA.Env()),
 			qps:   make(map[int]*ib.QP),
 			rndv:  make(map[int64]*Request),
 			byQPN: make(map[int]*ib.QP),
 		}
 		w.ranks = append(w.ranks, r)
+	}
+	if env.Sharded() {
+		// On a partitioned world QPs toward remote-shard peers must exist
+		// before the shards start running concurrently: lazy creation would
+		// mutate both ranks' maps from whichever shard sends first. Same-site
+		// pairs stay lazy — creation there is a same-shard operation.
+		for i, ri := range w.ranks {
+			for _, rj := range w.ranks[i+1:] {
+				if ri.node.HCA.Env() != rj.node.HCA.Env() {
+					ri.qpTo(rj)
+				}
+			}
+		}
 	}
 	for _, r := range w.ranks {
 		r.startProgress()
@@ -214,29 +253,40 @@ func (w *World) Env() *sim.Env { return w.env }
 // Config returns the world's configuration.
 func (w *World) Config() Config { return w.cfg }
 
-// Run spawns one process per rank executing fn and runs the simulation
-// until every rank returns; it then reports the virtual time at which the
-// last rank finished. It panics if the simulation drains with ranks still
-// blocked (a communication deadlock).
+// Run spawns one process per rank executing fn (each on its node's home
+// environment) and runs the simulation until every rank returns and all
+// in-flight protocol activity drains; it then reports the virtual time at
+// which the last rank finished. It panics if the simulation drains with
+// ranks still blocked (a communication deadlock).
+//
+// Run drains to quiescence rather than stopping at the instant the last
+// rank returns: on a partitioned world there is no global "stop now"
+// (shards run ahead of each other within a window), and the shared
+// counters below are the only cross-shard state, both atomic. The finish
+// time is unaffected — it is latched when the last rank returns, exactly
+// the value the old Stop-based path reported.
 func (w *World) Run(fn func(r *Rank, p *sim.Proc)) sim.Time {
-	remaining := len(w.ranks)
-	var finish sim.Time
+	var remaining atomic.Int64
+	var finish atomic.Int64
+	remaining.Store(int64(len(w.ranks)))
 	for _, r := range w.ranks {
 		r := r
-		w.env.Go(fmt.Sprintf("rank-%d", r.id), func(p *sim.Proc) {
+		r.env().Go(fmt.Sprintf("rank-%d", r.id), func(p *sim.Proc) {
 			fn(r, p)
-			remaining--
-			if remaining == 0 {
-				finish = p.Now()
-				w.env.Stop()
+			remaining.Add(-1)
+			for {
+				cur := finish.Load()
+				if int64(p.Now()) <= cur || finish.CompareAndSwap(cur, int64(p.Now())) {
+					break
+				}
 			}
 		})
 	}
 	w.env.Run()
-	if remaining != 0 {
-		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when simulation drained", remaining))
+	if n := remaining.Load(); n != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked when simulation drained", n))
 	}
-	return finish
+	return sim.Time(finish.Load())
 }
 
 // Shutdown unwinds rank progress engines (call when done with the world).
@@ -295,9 +345,9 @@ func (r *Rank) beginColl(name string) func() {
 		return nil
 	}
 	prev := r.collSpan
-	r.collSpan = obs.rec.StartAt(r.world.env.Now(), r.obsTrack(), name, prev)
+	r.collSpan = obs.rec.StartAt(r.env().Now(), r.obsTrack(), name, prev)
 	return func() {
-		obs.rec.EndAt(r.world.env.Now(), r.collSpan)
+		obs.rec.EndAt(r.env().Now(), r.collSpan)
 		r.collSpan = prev
 	}
 }
@@ -307,6 +357,12 @@ func endColl(f func()) {
 		f()
 	}
 }
+
+// env returns the rank's home environment — its node's HCA environment,
+// which on a partitioned world is the shard view for the node's site. All
+// of a rank's timers, processes, and events run here; cross-shard work
+// reaches a rank only through wire delivery on the verbs layer.
+func (r *Rank) env() *sim.Env { return r.node.HCA.Env() }
 
 // ID returns the rank number.
 func (r *Rank) ID() int { return r.id }

@@ -23,7 +23,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
 	}
 	req := &Request{
-		rank: r, done: r.world.env.NewEvent(), isSend: true,
+		rank: r, done: r.env().NewEvent(), isSend: true,
 		peer: dst, tag: tag, size: size, data: data,
 	}
 	r.world.profile.record(size)
@@ -41,7 +41,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 			if !eager {
 				name = "mpi.rndv"
 			}
-			req.span = obs.rec.StartAt(r.world.env.Now(), r.obsTrack(), name, r.collSpan)
+			req.span = obs.rec.StartAt(r.env().Now(), r.obsTrack(), name, r.collSpan)
 		}
 	}
 	m := &mpiMsg{src: r.id, tag: tag, size: size}
@@ -65,7 +65,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 	m.kind = rtsMsg
 	m.sendReq = r.nextReq
 	r.rndv[m.sendReq] = req
-	req.rtsAt = r.world.env.Now()
+	req.rtsAt = r.env().Now()
 	r.ctrlSend(peer, m, nil, req.span)
 	if r.world.cfg.RndvTimeout > 0 && peer.node != r.node {
 		r.armRndvWatchdog(m.sendReq, peer)
@@ -79,7 +79,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, data []byte, size int) *Request 
 // has errored, in which case waiting longer cannot help and the job aborts
 // deterministically (the RTS or its CTS died with the connection).
 func (r *Rank) armRndvWatchdog(sendReq int64, peer *Rank) {
-	r.world.env.At(r.world.cfg.RndvTimeout, func() {
+	r.env().At(r.world.cfg.RndvTimeout, func() {
 		if _, waiting := r.rndv[sendReq]; !waiting {
 			return // CTS arrived
 		}
@@ -103,7 +103,7 @@ func (r *Rank) Irecv(src, tag int, buf []byte, size int) *Request {
 		size = len(buf)
 	}
 	req := &Request{
-		rank: r, done: r.world.env.NewEvent(),
+		rank: r, done: r.env().NewEvent(),
 		peer: src, tag: tag, size: size, data: buf,
 	}
 	if in := r.matchUnexpected(req); in != nil {

@@ -72,7 +72,7 @@ func (q *Request) complete() {
 	}
 	if q.span.Valid() {
 		if obs := q.rank.world.obs; obs != nil && obs.rec != nil {
-			obs.rec.EndAt(q.rank.world.env.Now(), q.span)
+			obs.rec.EndAt(q.rank.env().Now(), q.span)
 		}
 	}
 	q.done.Trigger(nil)
@@ -103,7 +103,7 @@ func (w *World) copyTime(n int) sim.Time {
 // the completion queue, reposts receives, runs the matching engine and
 // drives the rendezvous protocol.
 func (r *Rank) startProgress() {
-	r.world.env.Go(fmt.Sprintf("mpi-prog-%d", r.id), func(p *sim.Proc) {
+	r.env().Go(fmt.Sprintf("mpi-prog-%d", r.id), func(p *sim.Proc) {
 		for {
 			c := r.cq.Poll(p)
 			if c.Status != ib.StatusOK {
@@ -168,7 +168,7 @@ func (r *Rank) handleMsg(p *sim.Proc, m *mpiMsg) {
 		delete(r.rndv, m.sendReq)
 		req.rndvPeer = m.recvReq
 		if obs := r.world.obs; obs != nil {
-			obs.handshake.Observe(int64(r.world.env.Now() - req.rtsAt))
+			obs.handshake.Observe(int64(r.env().Now() - req.rtsAt))
 		}
 		peer := r.world.ranks[req.peer]
 		qp := r.qpTo(peer)
@@ -264,7 +264,7 @@ func (r *Rank) ctrlSend(peer *Rank, m *mpiMsg, ctx *Request, parent telemetry.Sp
 // shmDeliver carries a message between co-located ranks over the node's
 // shared memory: a fixed latency plus a copy cost, no fabric involvement.
 func (r *Rank) shmDeliver(peer *Rank, m *mpiMsg, ctx *Request) {
-	env := r.world.env
+	env := r.env() // co-located ranks share a node, hence a shard
 	d := ShmLatency + sim.Time(float64(m.size)*ShmPerByteNanos)
 	env.At(d, func() {
 		peer.handleShmMsg(m)
@@ -297,9 +297,9 @@ func (r *Rank) handleShmMsg(m *mpiMsg) {
 		req := r.rndv[m.sendReq]
 		delete(r.rndv, m.sendReq)
 		if obs := r.world.obs; obs != nil {
-			obs.handshake.Observe(int64(r.world.env.Now() - req.rtsAt))
+			obs.handshake.Observe(int64(r.env().Now() - req.rtsAt))
 		}
-		env := r.world.env
+		env := r.env()
 		d := sim.Time(float64(req.size) * ShmPerByteNanos)
 		recvReq := m.recvReq
 		if recvReq.data != nil && req.data != nil {

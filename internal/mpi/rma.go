@@ -38,6 +38,14 @@ func (r *Rank) WinCreate(p *sim.Proc, buf []byte, size int) *Win {
 		size = len(buf)
 	}
 	w := r.world
+	if w.env.Sharded() {
+		// The window-creation rendezvous (winStates, the shared ready
+		// event) is cross-rank shared state with no wire between the
+		// parties — it cannot run concurrently across shards. No multi-site
+		// experiment uses RMA; revisit with a leader-based exchange if one
+		// ever does.
+		panic("mpi: WinCreate is not supported on a sharded (partitioned) world")
+	}
 	r.winSeq++
 	id := r.winSeq
 	st := w.winStates[id]
@@ -86,7 +94,7 @@ func (w *Win) Put(p *sim.Proc, target int, data []byte, size, targetOff int) {
 		panic(fmt.Sprintf("mpi: Put beyond window bounds: off=%d size=%d win=%d", targetOff, size, w.size))
 	}
 	peer := r.world.ranks[target]
-	req := &Request{rank: r, done: r.world.env.NewEvent(), isSend: true, peer: target, size: size}
+	req := &Request{rank: r, done: r.env().NewEvent(), isSend: true, peer: target, size: size}
 	r.world.profile.record(size)
 	qp := r.qpTo(peer)
 	qp.PostSend(ib.SendWR{
@@ -115,7 +123,7 @@ func (w *Win) Get(p *sim.Proc, target int, buf []byte, size, targetOff int) {
 		panic("mpi: Get beyond window bounds")
 	}
 	peer := r.world.ranks[target]
-	req := &Request{rank: r, done: r.world.env.NewEvent(), peer: target, size: size}
+	req := &Request{rank: r, done: r.env().NewEvent(), peer: target, size: size}
 	r.world.profile.record(size)
 	qp := r.qpTo(peer)
 	qp.PostSend(ib.SendWR{

@@ -13,7 +13,12 @@ import (
 // Client is an NFS client bound to an RPC transport (a mount). Multiple
 // simulation processes (IOzone threads) may issue operations concurrently.
 type Client struct {
-	t   rpc.Client
+	t rpc.Client
+	// env is the client node's home environment (nil when the client was
+	// wrapped with NewClient, without a node). On a partitioned world the
+	// workload processes driving this mount must run here: the RPC
+	// transport's completion events live on the client node's shard.
+	env *sim.Env
 	obs *clientObs // non-nil only when telemetry is attached
 }
 
@@ -34,8 +39,8 @@ func NewClient(t rpc.Client) *Client { return &Client{t: t} }
 // to the node's environment, RPCs are recorded as "nfs.<op>" spans on the
 // client node's track and into the call latency histogram.
 func NewClientOn(node *cluster.Node, t rpc.Client) *Client {
-	c := &Client{t: t}
 	env := node.HCA.Env()
+	c := &Client{t: t, env: env}
 	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
 		c.obs = &clientObs{
 			env:   env,

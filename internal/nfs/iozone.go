@@ -31,8 +31,15 @@ func (c *IOzoneConfig) fill() {
 // synthetic file and returns throughput in MillionBytes/s. Each thread
 // works a contiguous stripe of the file, record by record, as IOzone's
 // multi-threaded mode does. The simulation runs inside this call.
+//
+// When the client knows its home environment (NewClientOn), the workload
+// threads run there — on a partitioned world that is the client node's
+// shard, where the mount's RPC completion events live.
 func IOzone(env *sim.Env, c *Client, file string, cfg IOzoneConfig) float64 {
 	cfg.fill()
+	if c.env != nil {
+		env = c.env
+	}
 	var fh uint64
 	var elapsed sim.Time
 	env.Go("iozone-main", func(p *sim.Proc) {

@@ -22,6 +22,15 @@ type Env struct {
 	evFree   []*Event           // recycled Events (see AcquireEvent)
 	tel      any                // opaque telemetry attachment (see SetTelemetry)
 	flt      any                // opaque fault-plan attachment (see SetFault)
+
+	// Sharded parallel execution (see shard.go). All zero on the classic
+	// single-heap path: world stays nil and every check below is one nil
+	// test, so unpartitioned behavior is unchanged.
+	world        *world // non-nil once Partition has run
+	shard        int32  // this view's shard index within world
+	xseq         int64  // per-shard sequence for cross-shard deposits
+	shardWorkers int    // declared worker bound (SetShardWorkers)
+	windowStalls int64  // windows in which this shard dispatched nothing
 }
 
 // NewEnv creates an empty simulation environment with the clock at zero.
@@ -132,8 +141,13 @@ func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 
 // RunUntil executes scheduled work until the heap is empty, Stop is called,
 // or the next entry would be after the horizon. The clock never advances
-// beyond horizon.
+// beyond horizon. On a partitioned world (see Partition) the call drives
+// every shard under the conservative window protocol and returns when all
+// shard heaps are empty.
 func (e *Env) RunUntil(horizon Time) Time {
+	if e.world != nil {
+		return e.runWorld(horizon)
+	}
 	e.stopped = false
 	for !e.queue.empty() && !e.stopped {
 		if e.queue.peek().at > horizon {
@@ -156,20 +170,60 @@ func (e *Env) Step() bool {
 	return true
 }
 
-// Pending returns the number of scheduled heap entries.
-func (e *Env) Pending() int { return e.queue.len() }
+// Pending returns the number of scheduled heap entries (summed across
+// shards on a partitioned world; call only between windows, not from
+// concurrently running shard code).
+func (e *Env) Pending() int {
+	if w := e.world; w != nil {
+		n := 0
+		for _, s := range w.shards {
+			n += s.queue.len()
+		}
+		return n
+	}
+	return e.queue.len()
+}
 
 // Executed returns the number of heap entries dispatched since the
 // environment was created — a machine-independent measure of how much
-// simulation work an experiment cost.
-func (e *Env) Executed() int64 { return e.executed }
+// simulation work an experiment cost. On a partitioned world it sums all
+// shards (call after Run returns, not from concurrent shard code).
+func (e *Env) Executed() int64 {
+	if w := e.world; w != nil {
+		var n int64
+		for _, s := range w.shards {
+			n += s.executed
+		}
+		return n
+	}
+	return e.executed
+}
 
-// LiveProcs returns the number of started but unfinished processes.
-func (e *Env) LiveProcs() int { return len(e.procs) }
+// LiveProcs returns the number of started but unfinished processes (summed
+// across shards on a partitioned world).
+func (e *Env) LiveProcs() int {
+	if w := e.world; w != nil {
+		n := 0
+		for _, s := range w.shards {
+			n += len(s.procs)
+		}
+		return n
+	}
+	return len(e.procs)
+}
 
 // Stop halts Run/RunUntil after the current entry completes. It may be
-// called from process or callback context.
-func (e *Env) Stop() { e.stopped = true }
+// called from process or callback context. On a partitioned world it stops
+// every shard at its next dispatch check; measurements taken before the
+// Stop are deterministic, but the exact final clock of the other shards is
+// not (each may finish the event it is on).
+func (e *Env) Stop() {
+	if w := e.world; w != nil {
+		w.stopped.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // Shutdown forcibly kills every live process so their goroutines exit. It
 // must be called from outside process context (i.e., not from within a
@@ -182,6 +236,24 @@ func (e *Env) Stop() { e.stopped = true }
 // cleanup starts new processes, which — ids being monotonic — are always
 // killed after every process of the previous round, exactly as before.
 func (e *Env) Shutdown() {
+	if w := e.world; w != nil {
+		// Kill shard by shard in index order; loop in case a victim's
+		// deferred cleanup starts a process on another shard.
+		for again := true; again; {
+			again = false
+			for _, s := range w.shards {
+				if len(s.procs) > 0 {
+					s.shutdownLocal()
+					again = true
+				}
+			}
+		}
+		return
+	}
+	e.shutdownLocal()
+}
+
+func (e *Env) shutdownLocal() {
 	var victims []*Proc
 	for len(e.procs) > 0 {
 		victims = victims[:0]

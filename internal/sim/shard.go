@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel DES: one simulated world split into per-shard event
+// heaps and clocks behind the ordinary Env API.
+//
+// Partition(n) turns an environment into shard 0 of an n-shard world and
+// returns n views, one per shard. Each view is a full Env — its own heap,
+// clock, sequence counter, processes and event freelist — so everything a
+// layer builds on a view (QPs, procs, timers) stays on that view's timeline
+// and is touched by exactly one shard worker at a time. The only sanctioned
+// crossing point is AtArgOn, which deposits the event into the destination
+// shard's mailbox instead of its heap.
+//
+// Correctness rests on the conservative lookahead bound L registered through
+// RegisterLookahead: every cross-shard event scheduled while a shard's clock
+// reads t must land at or after t+L (in this codebase L is the minimum WAN
+// link propagation delay, and the only cross-shard edges are WAN links, so
+// the bound holds by construction). The windowed run loop repeats:
+//
+//  1. merge every mailbox into its destination heap, sorted by
+//     (time, source shard, source sequence) and stamped with fresh local
+//     sequence numbers — the deterministic merge rule;
+//  2. find N, the minimum next-event time across all shards; the window is
+//     [N, N+L): no cross-shard event produced during the window can land
+//     before N+L, so every shard may execute its local events with at < N+L
+//     independently and in parallel;
+//  3. barrier, then repeat until every heap is empty (or Stop).
+//
+// Because merge order, window boundaries and per-shard execution are all
+// pure functions of the simulation state, the executed event sequence — and
+// therefore all rendered output — is independent of the worker count.
+type world struct {
+	shards    []*Env
+	workers   int
+	lookahead Time
+	stopped   atomic.Bool
+	mail      []mailbox
+	scratch   []xentry
+	windows   int64 // scheduler windows run so far
+
+	pmu    sync.Mutex
+	panics []shardPanic
+}
+
+// mailbox collects events crossing into one destination shard during a
+// window. Senders append under the mutex from their worker goroutines; the
+// barrier drains it single-threaded before the next window.
+type mailbox struct {
+	mu      sync.Mutex
+	entries []xentry
+}
+
+// xentry is one cross-shard event in flight: an AtArgOn deposit carrying
+// its deterministic merge key (at, srcShard, srcSeq).
+type xentry struct {
+	at       Time
+	srcShard int32
+	srcSeq   int64
+	fnv      func(any)
+	val      any
+}
+
+// shardPanic records a panic raised while dispatching a shard's window, so
+// the barrier can re-raise the earliest one deterministically.
+type shardPanic struct {
+	at    Time
+	shard int32
+	val   any
+}
+
+const maxTime = Time(1<<62 - 1)
+
+// SetShardWorkers declares how many OS-level workers a later Partition may
+// use to run shards concurrently (<= 1 leaves the world sequential even if
+// partitioned). It must be called before Partition; the setting is advisory
+// until then and harmless on environments that are never partitioned.
+func (e *Env) SetShardWorkers(n int) { e.shardWorkers = n }
+
+// ShardWorkers returns the worker count declared by SetShardWorkers.
+func (e *Env) ShardWorkers() int { return e.shardWorkers }
+
+// Sharded reports whether the environment belongs to a partitioned world.
+func (e *Env) Sharded() bool { return e.world != nil }
+
+// Partition splits the environment into an n-shard world and returns the
+// shard views; view 0 is the receiver itself, views 1..n-1 are fresh
+// environments sharing the receiver's telemetry and fault attachments. Work
+// already scheduled on the receiver stays on shard 0. The world is inert
+// until a cross-shard lookahead is registered (RegisterLookahead); Run then
+// executes all shards under the conservative window protocol.
+func (e *Env) Partition(n int) []*Env {
+	if e.world != nil {
+		panic("sim: Partition on an already partitioned environment")
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("sim: Partition into %d shards", n))
+	}
+	workers := e.shardWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	w := &world{
+		workers:   workers,
+		lookahead: maxTime,
+		mail:      make([]mailbox, n),
+	}
+	views := make([]*Env, n)
+	views[0] = e
+	e.world = w
+	e.shard = 0
+	for i := 1; i < n; i++ {
+		v := NewEnv()
+		v.world = w
+		v.shard = int32(i)
+		v.shardWorkers = e.shardWorkers
+		v.tel = e.tel
+		v.flt = e.flt
+		views[i] = v
+	}
+	w.shards = views
+	return views
+}
+
+// RegisterLookahead lowers the world's conservative lookahead bound to d:
+// the caller promises that every cross-shard event is scheduled at least d
+// after the sending shard's current time. WAN links register their one-way
+// propagation delay here, so the bound is the minimum delay over all links.
+// No-op on an unpartitioned environment; a non-positive bound would make
+// the window protocol unsound and panics.
+func (e *Env) RegisterLookahead(d Time) {
+	w := e.world
+	if w == nil {
+		return
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v registered on a partitioned world", d))
+	}
+	if d < w.lookahead {
+		w.lookahead = d
+	}
+}
+
+// Lookahead returns the registered conservative lookahead bound, or 0 when
+// the environment is unpartitioned or no bound has been registered yet.
+func (e *Env) Lookahead() Time {
+	if w := e.world; w != nil && w.lookahead != maxTime {
+		return w.lookahead
+	}
+	return 0
+}
+
+// AtArgOn schedules fn(arg) at the given delay from now on the target
+// environment. With target == e (or on an unpartitioned world) it is
+// exactly AtArg. Across shards of one world it deposits the event into the
+// target's mailbox; the delay must honor the registered lookahead bound.
+func (e *Env) AtArgOn(target *Env, delay Time, fn func(any), arg any) {
+	if target == e {
+		e.AtArg(delay, fn, arg)
+		return
+	}
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	w := e.world
+	if w == nil || target.world != w {
+		panic("sim: AtArgOn across unrelated environments")
+	}
+	if delay < w.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard event at +%v violates the lookahead bound %v", delay, w.lookahead))
+	}
+	e.xseq++
+	mb := &w.mail[target.shard]
+	mb.mu.Lock()
+	mb.entries = append(mb.entries, xentry{
+		at: e.now + delay, srcShard: e.shard, srcSeq: e.xseq, fnv: fn, val: arg,
+	})
+	mb.mu.Unlock()
+}
+
+// runWorld is RunUntil for a partitioned world: the windowed barrier loop.
+func (e *Env) runWorld(horizon Time) Time {
+	w := e.world
+	w.stopped.Store(false)
+	for !w.stopped.Load() {
+		w.deliverMail()
+		next := maxTime
+		for _, s := range w.shards {
+			if !s.queue.empty() && s.queue.peek().at < next {
+				next = s.queue.peek().at
+			}
+		}
+		if next == maxTime {
+			break
+		}
+		if next > horizon {
+			for _, s := range w.shards {
+				if s.now < horizon {
+					s.now = horizon
+				}
+			}
+			return horizon
+		}
+		if w.lookahead == maxTime {
+			panic("sim: partitioned world has pending events but no registered lookahead")
+		}
+		limit := next + w.lookahead
+		if limit > horizon {
+			limit = horizon + 1 // entries at exactly the horizon still run
+		}
+		w.windows++
+		w.runWindow(limit)
+		w.raisePanics()
+	}
+	// Quiescent (or stopped): align every clock to the furthest shard so
+	// later activity on any view starts from one well-defined time.
+	maxNow := e.now
+	for _, s := range w.shards {
+		if s.now > maxNow {
+			maxNow = s.now
+		}
+	}
+	for _, s := range w.shards {
+		if s.now < maxNow {
+			s.now = maxNow
+		}
+	}
+	return maxNow
+}
+
+// deliverMail merges every mailbox into its destination heap in
+// deterministic (time, source shard, source sequence) order, stamping fresh
+// destination sequence numbers.
+func (w *world) deliverMail() {
+	for di := range w.mail {
+		mb := &w.mail[di]
+		mb.mu.Lock()
+		w.scratch = append(w.scratch[:0], mb.entries...)
+		for i := range mb.entries {
+			mb.entries[i] = xentry{}
+		}
+		mb.entries = mb.entries[:0]
+		mb.mu.Unlock()
+		ents := w.scratch
+		if len(ents) == 0 {
+			continue
+		}
+		sort.Slice(ents, func(i, j int) bool {
+			if ents[i].at != ents[j].at {
+				return ents[i].at < ents[j].at
+			}
+			if ents[i].srcShard != ents[j].srcShard {
+				return ents[i].srcShard < ents[j].srcShard
+			}
+			return ents[i].srcSeq < ents[j].srcSeq
+		})
+		dst := w.shards[di]
+		for _, x := range ents {
+			if x.at < dst.now {
+				panic(fmt.Sprintf("sim: cross-shard event at %v arrives in shard %d's past (now %v)", x.at, di, dst.now))
+			}
+			dst.push(entry{at: x.at, kind: kindFnArg, fnv: x.fnv, val: x.val})
+		}
+	}
+}
+
+// runWindow executes every shard's events with at < limit, in parallel on
+// the world's workers.
+func (w *world) runWindow(limit Time) {
+	if w.workers <= 1 {
+		for _, s := range w.shards {
+			s.runShard(limit)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan *Env, len(w.shards))
+	for i := 0; i < w.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range idx {
+				s.runShard(limit)
+			}
+		}()
+	}
+	for _, s := range w.shards {
+		idx <- s
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// runShard drains one shard's heap up to (but excluding) limit. A panic
+// while dispatching — a process panic re-raised by handoff, or a model
+// panicking directly in a callback — is recorded for the barrier instead of
+// crashing the worker; the shard stops, the others finish their window
+// normally, and raisePanics rethrows the earliest record so the surfaced
+// failure is independent of worker scheduling.
+func (s *Env) runShard(limit Time) {
+	w := s.world
+	before := s.executed
+	defer func() {
+		if s.executed == before {
+			// The shard had nothing runnable this window: it stalled on the
+			// barrier waiting for the rest of the world (see WindowStats).
+			s.windowStalls++
+		}
+		if r := recover(); r != nil {
+			w.pmu.Lock()
+			w.panics = append(w.panics, shardPanic{at: s.now, shard: s.shard, val: r})
+			w.pmu.Unlock()
+		}
+	}()
+	for !s.queue.empty() && !w.stopped.Load() {
+		if s.queue.peek().at >= limit {
+			return
+		}
+		ent := s.queue.pop()
+		s.dispatch(&ent)
+	}
+}
+
+// ShardStats describes one shard's share of a partitioned world's work: the
+// events it dispatched and the windows it spent stalled on the barrier with
+// nothing runnable (high stall counts mean the site's workload is much
+// lighter than its peers', or the lookahead window is too small to batch
+// useful work).
+type ShardStats struct {
+	Shard    int
+	Executed int64
+	Stalls   int64
+}
+
+// WindowStats returns the number of conservative scheduler windows run so
+// far and per-shard work counters, or (0, nil) on an unpartitioned
+// environment. Call it between runs, not from concurrent shard code.
+func (e *Env) WindowStats() (int64, []ShardStats) {
+	w := e.world
+	if w == nil {
+		return 0, nil
+	}
+	out := make([]ShardStats, len(w.shards))
+	for i, s := range w.shards {
+		out[i] = ShardStats{Shard: i, Executed: s.executed, Stalls: s.windowStalls}
+	}
+	return w.windows, out
+}
+
+// raisePanics rethrows the earliest (time, shard) panic recorded during the
+// last window, if any.
+func (w *world) raisePanics() {
+	w.pmu.Lock()
+	recs := w.panics
+	w.panics = nil
+	w.pmu.Unlock()
+	if len(recs) == 0 {
+		return
+	}
+	min := recs[0]
+	for _, r := range recs[1:] {
+		if r.at < min.at || (r.at == min.at && r.shard < min.shard) {
+			min = r
+		}
+	}
+	panic(min.val)
+}

@@ -235,7 +235,7 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 	if pl := fault.PlanFromEnv(s.env); pl != nil && pl.Enabled() {
 		s.chaos = true
 		if in := pl.ArmTCP(s.env); in != nil {
-			s.dropFn = in.DropWire
+			s.dropFn = func(wire int) bool { return in.DropWire(s.env.Now(), wire) }
 		}
 	}
 	dev.SetHandler(func(src ib.LID, payload any, length int) {

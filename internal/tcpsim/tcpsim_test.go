@@ -212,7 +212,7 @@ func TestRetransmissionRecoversDrop(t *testing.T) {
 	db := n.Attach(tb.B[0].HCA, ipoib.Datagram, 0)
 	sa2, sb2 := NewStack(da, Config{}), NewStack(db, Config{})
 	dropped := false
-	tb.WAN.Link().DropFn = func(wire int) bool {
+	tb.WAN.Link().DropFn = func(_ sim.Time, wire int) bool {
 		if !dropped && wire > 1000 { // drop one full data segment
 			dropped = true
 			return true

@@ -41,7 +41,8 @@ func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 				{Name: "A", Nodes: a, Cores: 2},
 				{Name: "B", Nodes: b, Cores: 8},
 			},
-			Links: []Link{{A: "A", B: "B", Delay: delay}},
+			Links:     []Link{{A: "A", B: "B", Delay: delay}},
+			Shardable: true,
 		}, nil
 	case "star3":
 		if n <= 0 {
@@ -57,6 +58,7 @@ func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 				{A: "hub", B: "s1", Delay: delay},
 				{A: "hub", B: "s2", Delay: delay},
 			},
+			Shardable: true,
 		}, nil
 	case "ring4":
 		if n <= 0 {
@@ -75,6 +77,7 @@ func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 				{A: "r2", B: "r3", Delay: delay},
 				{A: "r3", B: "r0", Delay: delay},
 			},
+			Shardable: true,
 		}, nil
 	case "mesh4":
 		if n <= 0 {
@@ -95,6 +98,7 @@ func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 				{A: "m1", B: "m3", Delay: delay},
 				{A: "m2", B: "m3", Delay: delay},
 			},
+			Shardable: true,
 		}, nil
 	default:
 		return Topology{}, fmt.Errorf("topo: unknown preset %q (have %v)", name, presetNames)

@@ -63,6 +63,13 @@ type Topology struct {
 	// LinkRate is the intra-site (and site-to-Longbow) link rate
 	// (default ib.DDR).
 	LinkRate ib.Rate
+	// Shardable marks the spec as eligible for sharded parallel execution:
+	// Build may partition the environment into one event shard per site
+	// (sim.Env.Partition) when the run asks for shard workers and every
+	// cross-site link can serve as a conservative lookahead bound. The
+	// built-in presets set it; the classic two-site testbed (cluster.New)
+	// leaves it false, so the paper's golden experiments never shard.
+	Shardable bool
 }
 
 // fill applies spec defaults without mutating the caller's slices.
@@ -260,29 +267,72 @@ type Network struct {
 	adj map[string][]string
 }
 
+// shardEligible reports whether Build may partition env into per-site
+// shards for this spec: the spec opts in (Shardable), the run asked for
+// shard workers, there is more than one site, the environment is not
+// already a shard view, every WAN link has a positive delay (a zero-delay
+// link cannot bound the lookahead) and no per-link plan is armed, and any
+// run-wide fault plan uses only shard-safe levers. Everything else falls
+// back to the classic single-heap path, whose output is byte-for-byte
+// unchanged.
+func (t Topology) shardEligible(env *sim.Env) bool {
+	if !t.Shardable || env.ShardWorkers() <= 1 || len(t.Sites) < 2 || env.Sharded() {
+		return false
+	}
+	for _, lk := range t.Links {
+		if lk.Delay <= 0 || lk.Fault != nil {
+			return false
+		}
+	}
+	return fault.PlanFromEnv(env).ShardSafe()
+}
+
 // Build compiles the topology onto a fresh fabric in env. Construction
 // order is fixed — site spines in declaration order, then Longbow pairs in
 // link order, then nodes site by site — so LID assignment, routing
 // tie-breaks and therefore simulated results are a pure function of the
 // spec. If the environment carries a run-wide fault plan it is armed on
 // every WAN link; a per-link Fault plan then overrides it on that link.
+//
+// When the spec and run qualify (see shardEligible), Build partitions env
+// into one event shard per site and compiles each site's devices, node
+// CPUs and — transitively — all software layered on them onto that site's
+// shard view. WAN links become the cross-shard edges, their delays the
+// conservative lookahead bound, so Env.Run executes the sites in parallel
+// with output identical to the single-heap run.
 func Build(env *sim.Env, t Topology) (*Network, error) {
 	t = t.fill()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	f := ib.NewFabric(env)
+	var views []*sim.Env // per-site shard views; nil on the classic path
+	if t.shardEligible(env) {
+		views = env.Partition(len(t.Sites))
+	}
+	siteEnv := func(i int) *sim.Env {
+		if views == nil {
+			return env
+		}
+		return views[i]
+	}
+	siteIdx := make(map[string]int, len(t.Sites))
+	for i, s := range t.Sites {
+		siteIdx[s.Name] = i
+	}
 	nw := &Network{
 		Env:    env,
 		Fabric: f,
 		byName: make(map[string]*SiteNet, len(t.Sites)),
 		adj:    make(map[string][]string, len(t.Sites)),
 	}
-	for _, spec := range t.Sites {
+	for i, spec := range t.Sites {
+		f.UseEnv(siteEnv(i))
 		sn := &SiteNet{Spec: spec, Spine: f.AddSwitch("switch-"+spec.Name, ib.SwitchDelay)}
 		nw.sites = append(nw.sites, sn)
 		nw.byName[spec.Name] = sn
 	}
+	f.UseEnv(env)
 	for _, lk := range t.Links {
 		// The single-link name stays the paper's "longbow", which keeps the
 		// two-site device names (longbow-A, longbow-B) — and the golden
@@ -293,7 +343,8 @@ func Build(env *sim.Env, t Topology) (*Network, error) {
 		if len(t.Links) > 1 {
 			name = fmt.Sprintf("longbow[%s:%s]", lk.A, lk.B)
 		}
-		pair := wan.NewPairBetween(f, name, lk.A, lk.B, lk.Delay)
+		pair := wan.NewPairAcross(f, name, lk.A, lk.B, lk.Delay,
+			siteEnv(siteIdx[lk.A]), siteEnv(siteIdx[lk.B]))
 		if lk.Rate != wan.WANRate {
 			if err := pair.Link().SetRate(lk.Rate); err != nil {
 				return nil, fmt.Errorf("topo: link %s: %w", name, err)
@@ -310,12 +361,13 @@ func Build(env *sim.Env, t Topology) (*Network, error) {
 		nw.adj[lk.A] = append(nw.adj[lk.A], lk.B)
 		nw.adj[lk.B] = append(nw.adj[lk.B], lk.A)
 	}
-	for _, sn := range nw.sites {
+	for si, sn := range nw.sites {
+		f.UseEnv(siteEnv(si))
 		prefix := strings.ToLower(sn.Spec.Name)
 		for i := 0; i < sn.Spec.Nodes; i++ {
 			n := &Node{
 				Name:    fmt.Sprintf("%s%02d", prefix, i),
-				CPU:     sim.NewResource(env, sn.Spec.Cores),
+				CPU:     sim.NewResource(siteEnv(si), sn.Spec.Cores),
 				Cluster: sn.Spec.Name,
 				net:     nw,
 			}
@@ -334,6 +386,7 @@ func Build(env *sim.Env, t Topology) (*Network, error) {
 			sn.Nodes = append(sn.Nodes, n)
 		}
 	}
+	f.UseEnv(env)
 	f.Finalize()
 	return nw, nil
 }

@@ -39,9 +39,15 @@ func DelayForDistance(km float64) (sim.Time, error) {
 // DistanceForDelay inverts DelayForDistance. A negative delay is an error,
 // mirroring the validation on the forward direction (a negative emulated
 // wire length is meaningless).
+//
+// On sharded worlds the returned delay doubles as the link's conservative
+// lookahead contribution: a WAN link's propagation delay is a lower bound
+// on the latency of any cross-shard event it carries, which is exactly the
+// lookahead the parallel scheduler needs (see sim.Env.RegisterLookahead
+// and NewPairAcross).
 func DistanceForDelay(d sim.Time) (float64, error) {
 	if d < 0 {
-		return 0, fmt.Errorf("wan: negative delay %v", d)
+		return 0, fmt.Errorf("wan: negative delay %v (a WAN delay must be a non-negative lower bound on cross-shard event latency)", d)
 	}
 	return d.Microseconds() / MicrosPerKM, nil
 }
@@ -64,6 +70,11 @@ func (l *Longbow) Name() string { return l.name }
 type Pair struct {
 	A, B *Longbow
 	link *ib.Link
+	// envA/envB are the ends' home environments. They differ only when the
+	// pair was created with NewPairAcross on a partitioned world, in which
+	// case the link's delay is registered as the world's conservative
+	// lookahead bound and the delay knob refuses values below it.
+	envA, envB *sim.Env
 }
 
 // NewPair creates two Longbows on the fabric and joins them with an SDR WAN
@@ -79,21 +90,64 @@ func NewPair(f *ib.Fabric, name string, delay sim.Time) *Pair {
 // names — a name identifying its link and side; NewPair's classic "A"/"B"
 // labels are the two-site special case.
 func NewPairBetween(f *ib.Fabric, name, endA, endB string, delay sim.Time) *Pair {
+	return NewPairAcross(f, name, endA, endB, delay, f.Env(), f.Env())
+}
+
+// NewPairAcross is NewPairBetween with each Longbow placed on its own
+// environment: the endA device on envA, the endB device on envB. On an
+// unpartitioned world (or with envA == envB) it behaves exactly like
+// NewPairBetween. On a partitioned world it is the topology compiler's
+// cross-shard edge: the two ends live on their sites' shard views, packet
+// delivery crosses through the kernel's mailbox path, and the link's
+// propagation delay is registered as the world's conservative lookahead
+// bound — the delay is a lower bound on how far in the future any event
+// this link sends into the peer shard can land, which is the promise the
+// windowed parallel scheduler runs on.
+func NewPairAcross(f *ib.Fabric, name, endA, endB string, delay sim.Time, envA, envB *sim.Env) *Pair {
+	f.UseEnv(envA)
 	a := &Longbow{name: name + "-" + endA, sw: f.AddSwitch(name+"-"+endA, ForwardingDelay)}
+	f.UseEnv(envB)
 	b := &Longbow{name: name + "-" + endB, sw: f.AddSwitch(name+"-"+endB, ForwardingDelay)}
+	f.UseEnv(f.Env())
 	link := f.Connect(a.sw, b.sw, WANRate, delay)
 	// The long-haul hop is where utilization and queueing telemetry lives.
 	link.MarkWAN()
+	if envA != envB {
+		// This link is a cross-shard edge: its delay bounds the lookahead.
+		// (RegisterLookahead rejects a non-positive bound — the compiler
+		// only partitions worlds whose WAN links all have positive delay.)
+		envA.RegisterLookahead(delay)
+	}
 	// If the environment carries a fault plan, this is the link it wants:
 	// arm the plan's WAN levers (loss models, flaps, brownouts, rate
 	// throttling). With no plan attached this is a no-op, so fault-free
-	// runs are untouched.
-	fault.PlanFromEnv(f.Env()).ArmWAN(f.Env(), link)
-	return &Pair{A: a, B: b, link: link}
+	// runs are untouched. On a partitioned world only ShardSafe plans ever
+	// reach this point (the compiler refuses to shard otherwise), and those
+	// arm no scheduled closures, so anchoring the injector on envA is safe.
+	fault.PlanFromEnv(envA).ArmWAN(envA, link)
+	return &Pair{A: a, B: b, link: link, envA: envA, envB: envB}
 }
 
-// SetDelay sets the one-way WAN delay (the emulated-distance knob).
-func (p *Pair) SetDelay(d sim.Time) { p.link.SetDelay(d) }
+// SetDelay sets the one-way WAN delay (the emulated-distance knob). On a
+// partitioned world the delay is also the link's lookahead promise — a
+// lower bound on cross-shard event latency — so lowering it below the
+// world's registered bound would let an event land in the peer shard's
+// past; such a change panics instead of silently corrupting the schedule.
+func (p *Pair) SetDelay(d sim.Time) {
+	if la := p.lookahead(); la > 0 && d < la {
+		panic(fmt.Sprintf("wan: delay %v below the registered lookahead bound %v (a WAN delay is a lower bound on cross-shard event latency and cannot shrink below the bound on a partitioned world)", d, la))
+	}
+	p.link.SetDelay(d)
+}
+
+// lookahead returns the world's registered lookahead bound when the pair
+// bridges two shards, else 0.
+func (p *Pair) lookahead() sim.Time {
+	if p.envA != nil && p.envA != p.envB && p.envA.Sharded() {
+		return p.envA.Lookahead()
+	}
+	return 0
+}
 
 // SetDistanceKM sets the delay from an emulated wire length.
 func (p *Pair) SetDistanceKM(km float64) error {
@@ -136,8 +190,14 @@ type DelayStep struct {
 // the new value. Steps must be sorted by time and not in the simulated
 // past; a bad schedule returns an error with nothing armed (it used to
 // panic), so the harness can degrade a single measurement point.
+//
+// On a partitioned world the link's delay is its lookahead promise (a
+// lower bound on cross-shard event latency), so a step below the world's
+// registered bound is rejected up front: the parallel scheduler has
+// already sized its windows assuming no cross-WAN event arrives sooner.
 func (p *Pair) ScheduleDelays(env *sim.Env, steps []DelayStep) error {
 	now := env.Now()
+	la := p.lookahead()
 	var last sim.Time = -1
 	for i, s := range steps {
 		if s.At < now {
@@ -148,6 +208,9 @@ func (p *Pair) ScheduleDelays(env *sim.Env, steps []DelayStep) error {
 		}
 		if s.Delay < 0 {
 			return fmt.Errorf("wan: delay step %d has negative delay %v", i, s.Delay)
+		}
+		if la > 0 && s.Delay < la {
+			return fmt.Errorf("wan: delay step %d sets %v, below the registered lookahead bound %v (the WAN delay is a lower bound on cross-shard event latency and cannot shrink below the bound on a partitioned world)", i, s.Delay, la)
 		}
 		last = s.At
 	}
