@@ -1,13 +1,16 @@
 package repro
 
-// Sharded-scheduler benchmarks: one mesh4 world (4 sites, a WAN link per
+// Sharded-scheduler benchmarks: a mesh4 world (4 sites, a WAN link per
 // site pair) running hierarchical allreduce + broadcast traffic, executed
-// single-heap (shards=1) and with one shard worker per site (shards=4).
-// Contrasting the two tracks the conservative parallel scheduler's speedup
-// in events/s; the headline numbers live in BENCH_shards.json (regenerate
-// with `go test -bench BenchmarkShardedMultisite -run - .`). On a
-// single-core host the shard workers can only timeshare, so ~1x is
-// expected there.
+// single-heap (shards=1) and with one shard worker per site (shards=4),
+// plus the star3-hetero preset where the channel-clock scheduler's
+// per-link bounds pay off (a 1ms metro link next to 10ms long-haul links).
+// Contrasting the tracks gives the parallel scheduler's speedup in
+// events/s and its synchronization cost in windows/event; the headline
+// numbers live in BENCH_shards.json (regenerate with
+// `go test -bench BenchmarkSharded -run - .`). On a single-core host the
+// shard workers can only timeshare, so ~1x events/s is expected there —
+// the windows/event drop is host-independent.
 
 import (
 	"testing"
@@ -17,23 +20,24 @@ import (
 	"repro/internal/topo"
 )
 
-// shardedMultisiteWorkload builds a mesh4 world with the given shard worker
-// count, runs a collective-heavy workload across all four sites, and
-// returns the number of simulation events executed.
-func shardedMultisiteWorkload(b *testing.B, shardWorkers int) int64 {
-	b.Helper()
+// shardedPresetWorkload builds the given preset with the given shard
+// worker count, runs a collective-heavy workload across all sites, and
+// returns the events executed and scheduler windows run (0 windows when
+// the world ran single-heap).
+func shardedPresetWorkload(tb testing.TB, preset string, shardWorkers int) (events, windows int64) {
+	tb.Helper()
 	env := sim.NewEnv()
 	env.SetShardWorkers(shardWorkers)
-	spec, err := topo.Preset("mesh4", 2, sim.Millisecond)
+	spec, err := topo.Preset(preset, 2, sim.Millisecond)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	nw, err := topo.Build(env, spec)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if shardWorkers > 1 && !env.Sharded() {
-		b.Fatal("mesh4 world did not partition")
+		tb.Fatalf("%s world did not partition", preset)
 	}
 	w := mpi.NewWorld(nw.Env, nw.Nodes(), mpi.Config{})
 	w.Run(func(r *mpi.Rank, p *sim.Proc) {
@@ -45,24 +49,40 @@ func shardedMultisiteWorkload(b *testing.B, shardWorkers int) int64 {
 		}
 	})
 	w.Shutdown()
-	return env.Executed()
+	windows, _ = env.WindowStats()
+	return env.Executed(), windows
 }
 
-func BenchmarkShardedMultisite1(b *testing.B) {
+// shardedMultisiteWorkload is the mesh4 variant, shared with the
+// allocation-bound regression test.
+func shardedMultisiteWorkload(tb testing.TB, shardWorkers int) int64 {
+	events, _ := shardedPresetWorkload(tb, "mesh4", shardWorkers)
+	return events
+}
+
+// benchSharded runs one preset x shard-worker cell, reporting events/s,
+// events/op and the scheduler's windows/event synchronization cost.
+func benchSharded(b *testing.B, preset string, shardWorkers int) {
 	b.ReportAllocs()
-	var events int64
+	var events, windows int64
 	for i := 0; i < b.N; i++ {
-		events += shardedMultisiteWorkload(b, 1)
+		ev, wi := shardedPresetWorkload(b, preset, shardWorkers)
+		events += ev
+		windows += wi
+	}
+	if shardWorkers > 1 {
+		b.ReportMetric(float64(shardWorkers), "shard_workers")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(windows)/float64(events), "windows/event")
 	}
 	reportKernelRate(b, events)
 }
 
-func BenchmarkShardedMultisite4(b *testing.B) {
-	b.ReportAllocs()
-	var events int64
-	for i := 0; i < b.N; i++ {
-		events += shardedMultisiteWorkload(b, 4)
-	}
-	b.ReportMetric(4, "shard_workers")
-	reportKernelRate(b, events)
-}
+func BenchmarkShardedMultisite1(b *testing.B) { benchSharded(b, "mesh4", 1) }
+
+func BenchmarkShardedMultisite4(b *testing.B) { benchSharded(b, "mesh4", 4) }
+
+func BenchmarkShardedStarHetero1(b *testing.B) { benchSharded(b, "star3-hetero", 1) }
+
+func BenchmarkShardedStarHetero4(b *testing.B) { benchSharded(b, "star3-hetero", 4) }

@@ -17,9 +17,12 @@
 // simulated testbed per point) that run on a bounded worker pool; -par
 // controls the pool size and output is byte-identical at any parallelism.
 // Orthogonally, -shards lets each multi-site world run its sites as
-// parallel event shards under a conservative WAN-lookahead scheduler —
-// again with byte-identical output at any value (see DESIGN.md, "Parallel
-// execution").
+// parallel event shards under a conservative channel-clock scheduler:
+// each WAN link's delay bounds its own directed channel, so every
+// shard's window follows its own incoming links rather than the world
+// minimum — again with byte-identical output at any value (see
+// DESIGN.md, "Parallel execution"). The JSON report's shard_windows /
+// shard_horizon_s fields expose the scheduler's synchronization cost.
 //
 // Examples:
 //
@@ -358,14 +361,19 @@ type jsonTable struct {
 }
 
 type jsonExperiment struct {
-	ID         string      `json:"id"`
-	Points     int         `json:"points"`
-	Workers    int         `json:"workers"`
-	WallMS     float64     `json:"wall_ms"`
-	SimSeconds float64     `json:"sim_s"`
-	Events     int64            `json:"events"`
-	Tables     []jsonTable      `json:"tables"`
-	Errors     []jsonPointError `json:"errors,omitempty"`
+	ID         string  `json:"id"`
+	Points     int     `json:"points"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	SimSeconds float64 `json:"sim_s"`
+	Events     int64   `json:"events"`
+	// Sharded-scheduler cost counters (absent on single-heap runs):
+	// barrier windows and cumulative safe-horizon advance in simulated
+	// seconds. windows/events is the synchronization overhead per event.
+	ShardWindows  int64            `json:"shard_windows,omitempty"`
+	ShardHorizonS float64          `json:"shard_horizon_s,omitempty"`
+	Tables        []jsonTable      `json:"tables"`
+	Errors        []jsonPointError `json:"errors,omitempty"`
 }
 
 type jsonReport struct {
@@ -403,14 +411,16 @@ func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, res
 			errs = append(errs, jsonPointError{Label: e.Label, Err: e.Err})
 		}
 		rep.Experiments = append(rep.Experiments, jsonExperiment{
-			ID:         res.ID,
-			Points:     res.Metrics.Points,
-			Workers:    res.Metrics.Workers,
-			WallMS:     float64(res.Metrics.Wall.Microseconds()) / 1e3,
-			SimSeconds: res.Metrics.SimTime.Seconds(),
-			Events:     res.Metrics.Events,
-			Tables:     toJSONTables(res.Tables),
-			Errors:     errs,
+			ID:            res.ID,
+			Points:        res.Metrics.Points,
+			Workers:       res.Metrics.Workers,
+			WallMS:        float64(res.Metrics.Wall.Microseconds()) / 1e3,
+			SimSeconds:    res.Metrics.SimTime.Seconds(),
+			Events:        res.Metrics.Events,
+			ShardWindows:  res.Metrics.ShardWindows,
+			ShardHorizonS: res.Metrics.ShardHorizon.Seconds(),
+			Tables:        toJSONTables(res.Tables),
+			Errors:        errs,
 		})
 	}
 	return writeJSON(w, rep)

@@ -137,27 +137,43 @@ func (m *Meter) Events() int64 {
 	return n
 }
 
-// recordShardStats publishes the parallel scheduler's progress counters for
-// every partitioned world the point ran: total windows, and per-shard
-// dispatched-event and barrier-stall counts. Counters are atomic and keyed
-// per shard index, so concurrent points on the worker pool aggregate
-// race-free. No-op without a metrics registry or on unsharded points.
-func (m *Meter) recordShardStats() {
-	if m == nil || m.tel == nil || m.tel.Metrics == nil {
-		return
+// recordShardStats publishes the parallel scheduler's progress counters
+// for every partitioned world the point ran — windows, cumulative
+// safe-horizon advance, and per-shard dispatched-event and barrier-stall
+// counts — and returns the point's window and horizon totals for the
+// runner's per-point metrics. It consumes interval deltas
+// (sim.Env.TakeWindowStats), not cumulative totals, so a world whose stats
+// are sampled more than once (warmup phases, repeated harness sampling)
+// contributes each window exactly once. Counters are atomic and keyed per
+// shard index, so concurrent points on the worker pool aggregate
+// race-free. Telemetry publication is skipped without a metrics registry;
+// the returned totals are always computed.
+func (m *Meter) recordShardStats() (windows int64, horizon sim.Time) {
+	if m == nil {
+		return 0, 0
 	}
-	reg := m.tel.Metrics
+	var reg *telemetry.Registry
+	if m.tel != nil {
+		reg = m.tel.Metrics
+	}
 	for _, e := range m.envs {
-		windows, shards := e.WindowStats()
-		if shards == nil {
+		d := e.TakeWindowStats()
+		if d.Shards == nil {
 			continue
 		}
-		reg.Counter("sim.shard.windows").Add(windows)
-		for _, s := range shards {
+		windows += d.Windows
+		horizon += d.Horizon
+		if reg == nil {
+			continue
+		}
+		reg.Counter("sim.shard.windows").Add(d.Windows)
+		reg.Counter("sim.shard.horizon").Add(int64(d.Horizon))
+		for _, s := range d.Shards {
 			reg.Counter(fmt.Sprintf("sim.shard.%d.executed", s.Shard)).Add(s.Executed)
 			reg.Counter(fmt.Sprintf("sim.shard.%d.stalls", s.Shard)).Add(s.Stalls)
 		}
 	}
+	return windows, horizon
 }
 
 // close shuts down every tracked environment, killing parked processes so

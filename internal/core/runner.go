@@ -75,6 +75,13 @@ type PointMetrics struct {
 	Wall       time.Duration // host time spent measuring the point
 	SimTime    sim.Time      // virtual time reached across the point's envs
 	Events     int64         // simulation events executed
+	// ShardWindows counts the sharded scheduler's barrier windows across
+	// the point's partitioned worlds (0 when the point ran single-heap);
+	// ShardHorizon is the matching cumulative safe-horizon advance.
+	// ShardWindows/Events is the scheduler's synchronization overhead per
+	// unit of work; ShardHorizon/ShardWindows its mean window width.
+	ShardWindows int64
+	ShardHorizon sim.Time
 	// Err is non-empty when the point failed (fault injection exhausted a
 	// recovery budget, a parameter was invalid); its value landed as NaN.
 	Err string
@@ -118,6 +125,11 @@ type ExperimentMetrics struct {
 	Wall    time.Duration // wall time for the whole experiment
 	SimTime sim.Time      // summed virtual time across all points
 	Events  int64         // summed simulation events across all points
+	// ShardWindows/ShardHorizon sum the sharded scheduler's barrier
+	// windows and safe-horizon advance across all points (both 0 on
+	// single-heap runs).
+	ShardWindows int64
+	ShardHorizon sim.Time
 }
 
 // Result pairs an experiment's tables with its runtime metrics.
@@ -179,7 +191,7 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 					errs[i] = err.Error()
 				}
 				pt.commit(y)
-				m.recordShardStats()
+				wins, hor := m.recordShardStats()
 				m.close()
 				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
 					// Harness span covering the point, then advance the
@@ -191,16 +203,20 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 					rec.Advance(st + sim.Millisecond)
 				}
 				pm := PointMetrics{
-					Experiment: spec.ID,
-					Label:      pt.Label,
-					Wall:       time.Since(t0),
-					SimTime:    m.SimTime(),
-					Events:     m.Events(),
-					Err:        errs[i],
+					Experiment:   spec.ID,
+					Label:        pt.Label,
+					Wall:         time.Since(t0),
+					SimTime:      m.SimTime(),
+					Events:       m.Events(),
+					ShardWindows: wins,
+					ShardHorizon: hor,
+					Err:          errs[i],
 				}
 				mu.Lock()
 				agg.SimTime += pm.SimTime
 				agg.Events += pm.Events
+				agg.ShardWindows += pm.ShardWindows
+				agg.ShardHorizon += pm.ShardHorizon
 				done++
 				if ropt.Progress != nil {
 					fmt.Fprintf(ropt.Progress, "\r\x1b[K[%s] %d/%d points  par=%d  %s",

@@ -137,9 +137,21 @@ func (p *Proc) yield() any {
 
 // Wait blocks the process until ev triggers and returns the event's value.
 // If the event already triggered, Wait returns immediately without yielding.
+//
+// On a partitioned world the event must belong to the process's own shard:
+// Trigger resumes waiters through the event's environment, so a process
+// parked on another shard's event would be rescheduled by that shard's
+// dispatcher — racing its home heap and deadlocking the window barrier.
+// Cross-shard signalling goes through the mailbox lanes (AtArgOn) instead,
+// with the receiving shard triggering a local event. Waiting across shards
+// panics immediately rather than deadlocking at trigger time.
 func (p *Proc) Wait(ev *Event) any {
 	if p.env.current != p {
 		panic("sim: Wait called from outside process context")
+	}
+	if ev.env != p.env && ev.env.world != nil && ev.env.world == p.env.world {
+		panic(fmt.Sprintf("sim: process %q on shard %d cannot wait on shard %d's event: cross-shard signalling must ride the mailbox lanes (AtArgOn)",
+			p.name, p.env.shard, ev.env.shard))
 	}
 	if ev.Triggered() {
 		return ev.val

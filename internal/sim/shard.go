@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,46 +17,92 @@ import (
 // clock, sequence counter, processes and event freelist — so everything a
 // layer builds on a view (QPs, procs, timers) stays on that view's timeline
 // and is touched by exactly one shard worker at a time. The only sanctioned
-// crossing point is AtArgOn, which deposits the event into the destination
-// shard's mailbox instead of its heap.
+// crossing point is AtArgOn, which deposits the event into a per-(src,dst)
+// mailbox lane instead of the destination heap.
 //
-// Correctness rests on the conservative lookahead bound L registered through
-// RegisterLookahead: every cross-shard event scheduled while a shard's clock
-// reads t must land at or after t+L (in this codebase L is the minimum WAN
-// link propagation delay, and the only cross-shard edges are WAN links, so
-// the bound holds by construction). The windowed run loop repeats:
+// Correctness rests on per-channel conservative bounds (the CMB protocol's
+// channel clocks, in the null-message-free synchronous variant). A directed
+// channel src→dst with bound b — registered through RegisterLookaheadBetween,
+// in this codebase by each WAN link with its one-way propagation delay —
+// promises that every cross-shard event deposited while src's clock reads t
+// lands at or after t+b. The windowed run loop repeats:
 //
-//  1. merge every mailbox into its destination heap, sorted by
-//     (time, source shard, source sequence) and stamped with fresh local
-//     sequence numbers — the deterministic merge rule;
-//  2. find N, the minimum next-event time across all shards; the window is
-//     [N, N+L): no cross-shard event produced during the window can land
-//     before N+L, so every shard may execute its local events with at < N+L
-//     independently and in parallel;
+//  1. merge every mailbox lane into its destination heap in deterministic
+//     (time, source shard, source sequence) order, stamping fresh local
+//     sequence numbers — the merge rule, unchanged from the global-lookahead
+//     scheduler;
+//  2. compute each shard's safe horizon from the channel clocks:
+//     limit[i] = min over incoming channels k→i of (est[k] + b[k→i]),
+//     where est[k] is shard k's earliest conceivable execution time — the
+//     shortest-path fixpoint of next[] over the channel bounds (see
+//     planWindow), covering chains of deposits through intermediate
+//     shards. Shard i may execute every local event with at < limit[i]:
+//     nothing can ever arrive below its limit. A shard whose est is far in
+//     the future does not constrain its downstream peers, which is the
+//     payoff over the global-minimum rule: a short metro link only narrows
+//     the windows of shards it can actually reach at that cadence;
 //  3. barrier, then repeat until every heap is empty (or Stop).
 //
-// Because merge order, window boundaries and per-shard execution are all
-// pure functions of the simulation state, the executed event sequence — and
-// therefore all rendered output — is independent of the worker count.
+// The shard holding the global minimum next-event time always has
+// limit > next (every incoming bound is positive), so the loop cannot
+// deadlock. Because merge order, per-shard horizons and per-shard execution
+// are all pure functions of the simulation state, the executed event
+// sequence — and therefore all rendered output — is independent of the
+// worker count.
+//
+// Mechanically, a window costs no allocations and no locks on the hot path:
+// shards are run by a persistent worker pool with a spin-then-park barrier
+// (built once per run, not per window), a cross-shard deposit appends to a
+// single-producer lane owned by the sending shard (no mutex — the lane is
+// only written by that shard's worker during a window and only drained at
+// the barrier), and delivery is a k-way merge of the per-source lanes, each
+// already in nondecreasing (at, srcSeq) order.
 type world struct {
-	shards    []*Env
-	workers   int
+	shards  []*Env
+	workers int
+
+	// lookahead is the minimum bound over all registered channels (what
+	// Lookahead() reports); bounds[src*n+dst] is the per-channel bound, or
+	// noBound where no channel has been registered. nchan counts registered
+	// directed channels.
 	lookahead Time
-	stopped   atomic.Bool
-	mail      []mailbox
-	scratch   []xentry
-	windows   int64 // scheduler windows run so far
+	bounds    []Time
+	nchan     int
+
+	lanes []lane // lanes[src*n+dst]: single-producer cross-shard deposits
+
+	next   []Time  // per-window scratch: each shard's next-event time
+	est    []Time  // per-window scratch: earliest conceivable execution time
+	limits []Time  // per-window scratch: each shard's safe horizon
+	active []int32 // per-window scratch: shards with runnable work
+
+	stopped atomic.Bool
+
+	windows int64 // scheduler windows run so far
+	horizon Time  // cumulative safe-horizon advance of the critical shard
+
+	// Marks for TakeWindowStats deltas.
+	repWindows int64
+	repHorizon Time
+	repShards  []ShardStats
 
 	pmu    sync.Mutex
 	panics []shardPanic
 }
 
-// mailbox collects events crossing into one destination shard during a
-// window. Senders append under the mutex from their worker goroutines; the
-// barrier drains it single-threaded before the next window.
-type mailbox struct {
-	mu      sync.Mutex
+// lane collects events crossing one directed (src,dst) shard pair during a
+// window. It is written only by shard src's worker (deposits during src's
+// window execution, or setup code before the run) and drained
+// single-threaded at the barrier, so it needs no lock; the barrier's
+// synchronization orders deposits before the drain. The buffer is reused
+// across windows. Padded so neighboring lanes don't share a cache line
+// under concurrent producers.
+type lane struct {
 	entries []xentry
+	head    int  // drain cursor during the k-way merge
+	last    Time // most recent append's at, for the sorted check
+	sorted  bool // entries are in nondecreasing at order (the common case)
+	_       [24]byte
 }
 
 // xentry is one cross-shard event in flight: an AtArgOn deposit carrying
@@ -75,7 +123,23 @@ type shardPanic struct {
 	val   any
 }
 
-const maxTime = Time(1<<62 - 1)
+const (
+	maxTime = Time(1<<62 - 1)
+	// noBound marks an unregistered channel; it also serves as "no
+	// constraint" in the horizon computation (strictly above any real
+	// event time or saturated sum).
+	noBound = Time(math.MaxInt64)
+)
+
+// satAdd returns a+b saturating at noBound instead of wrapping: horizons
+// near maxTime (the default Run horizon, or a huge registered bound) must
+// clamp, not go negative and wedge the window loop.
+func satAdd(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return noBound
+}
 
 // SetShardWorkers declares how many OS-level workers a later Partition may
 // use to run shards concurrently (<= 1 leaves the world sequential even if
@@ -93,8 +157,9 @@ func (e *Env) Sharded() bool { return e.world != nil }
 // shard views; view 0 is the receiver itself, views 1..n-1 are fresh
 // environments sharing the receiver's telemetry and fault attachments. Work
 // already scheduled on the receiver stays on shard 0. The world is inert
-// until a cross-shard lookahead is registered (RegisterLookahead); Run then
-// executes all shards under the conservative window protocol.
+// until cross-shard channels are registered (RegisterLookaheadBetween, or
+// RegisterLookahead for a uniform bound); Run then executes all shards
+// under the conservative window protocol.
 func (e *Env) Partition(n int) []*Env {
 	if e.world != nil {
 		panic("sim: Partition on an already partitioned environment")
@@ -112,7 +177,19 @@ func (e *Env) Partition(n int) []*Env {
 	w := &world{
 		workers:   workers,
 		lookahead: maxTime,
-		mail:      make([]mailbox, n),
+		bounds:    make([]Time, n*n),
+		lanes:     make([]lane, n*n),
+		next:      make([]Time, n),
+		est:       make([]Time, n),
+		limits:    make([]Time, n),
+		active:    make([]int32, 0, n),
+		repShards: make([]ShardStats, n),
+	}
+	for i := range w.bounds {
+		w.bounds[i] = noBound
+	}
+	for i := range w.lanes {
+		w.lanes[i].sorted = true
 	}
 	views := make([]*Env, n)
 	views[0] = e
@@ -131,12 +208,52 @@ func (e *Env) Partition(n int) []*Env {
 	return views
 }
 
-// RegisterLookahead lowers the world's conservative lookahead bound to d:
-// the caller promises that every cross-shard event is scheduled at least d
-// after the sending shard's current time. WAN links register their one-way
-// propagation delay here, so the bound is the minimum delay over all links.
-// No-op on an unpartitioned environment; a non-positive bound would make
-// the window protocol unsound and panics.
+// setBound lowers (or creates) the directed channel bound src→dst.
+func (w *world) setBound(src, dst int, d Time) {
+	b := &w.bounds[src*len(w.shards)+dst]
+	if *b == noBound {
+		w.nchan++
+		*b = d
+	} else if d < *b {
+		*b = d
+	}
+	if d < w.lookahead {
+		w.lookahead = d
+	}
+}
+
+// RegisterLookaheadBetween registers (or lowers) the conservative bound of
+// the directed channel from the receiver's shard to the target's shard: the
+// caller promises that every AtArgOn deposit on that channel is scheduled
+// at least d after the sending shard's current time. WAN links register
+// their one-way propagation delay here, one call per direction, so each
+// shard's safe horizon is set by its own incoming links rather than the
+// global minimum. No-op on an unpartitioned environment or with
+// target == receiver; a non-positive bound would make the window protocol
+// unsound and panics.
+func (e *Env) RegisterLookaheadBetween(target *Env, d Time) {
+	w := e.world
+	if w == nil {
+		return
+	}
+	if target == nil || target.world != w {
+		panic("sim: RegisterLookaheadBetween across unrelated environments")
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v registered on a partitioned world", d))
+	}
+	if target == e {
+		return
+	}
+	w.setBound(int(e.shard), int(target.shard), d)
+}
+
+// RegisterLookahead registers d on every directed shard pair at once: a
+// uniform world-wide bound, equivalent to the pre-channel-clock scheduler's
+// global lookahead. Kernel tests and baseline comparisons use it; real
+// topologies register per-link bounds via RegisterLookaheadBetween and get
+// wider windows wherever their delays are heterogeneous. No-op on an
+// unpartitioned environment; a non-positive bound panics.
 func (e *Env) RegisterLookahead(d Time) {
 	w := e.world
 	if w == nil {
@@ -145,13 +262,22 @@ func (e *Env) RegisterLookahead(d Time) {
 	if d <= 0 {
 		panic(fmt.Sprintf("sim: non-positive lookahead %v registered on a partitioned world", d))
 	}
+	n := len(w.shards)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s != t {
+				w.setBound(s, t, d)
+			}
+		}
+	}
 	if d < w.lookahead {
 		w.lookahead = d
 	}
 }
 
-// Lookahead returns the registered conservative lookahead bound, or 0 when
-// the environment is unpartitioned or no bound has been registered yet.
+// Lookahead returns the minimum conservative bound over all registered
+// channels, or 0 when the environment is unpartitioned or no channel has
+// been registered yet.
 func (e *Env) Lookahead() Time {
 	if w := e.world; w != nil && w.lookahead != maxTime {
 		return w.lookahead
@@ -159,10 +285,27 @@ func (e *Env) Lookahead() Time {
 	return 0
 }
 
+// ChannelLookahead returns the registered bound of the directed channel
+// from the receiver's shard to the target's shard, or 0 when the
+// environments are unpartitioned, unrelated, co-sharded, or the channel is
+// unregistered.
+func (e *Env) ChannelLookahead(target *Env) Time {
+	w := e.world
+	if w == nil || target == nil || target.world != w || target.shard == e.shard {
+		return 0
+	}
+	if b := w.bounds[int(e.shard)*len(w.shards)+int(target.shard)]; b != noBound {
+		return b
+	}
+	return 0
+}
+
 // AtArgOn schedules fn(arg) at the given delay from now on the target
 // environment. With target == e (or on an unpartitioned world) it is
 // exactly AtArg. Across shards of one world it deposits the event into the
-// target's mailbox; the delay must honor the registered lookahead bound.
+// (source,target) mailbox lane; the channel must be registered and the
+// delay must honor its bound. The deposit takes no lock: the lane is owned
+// by the calling shard until the window barrier.
 func (e *Env) AtArgOn(target *Env, delay Time, fn func(any), arg any) {
 	if target == e {
 		e.AtArg(delay, fn, arg)
@@ -175,28 +318,45 @@ func (e *Env) AtArgOn(target *Env, delay Time, fn func(any), arg any) {
 	if w == nil || target.world != w {
 		panic("sim: AtArgOn across unrelated environments")
 	}
-	if delay < w.lookahead {
-		panic(fmt.Sprintf("sim: cross-shard event at +%v violates the lookahead bound %v", delay, w.lookahead))
+	b := w.bounds[int(e.shard)*len(w.shards)+int(target.shard)]
+	if b == noBound {
+		panic(fmt.Sprintf("sim: cross-shard event on unregistered channel shard %d -> %d (RegisterLookaheadBetween first)", e.shard, target.shard))
+	}
+	if delay < b {
+		panic(fmt.Sprintf("sim: cross-shard event at +%v violates the channel lookahead bound %v (shard %d -> %d)", delay, b, e.shard, target.shard))
 	}
 	e.xseq++
-	mb := &w.mail[target.shard]
-	mb.mu.Lock()
-	mb.entries = append(mb.entries, xentry{
-		at: e.now + delay, srcShard: e.shard, srcSeq: e.xseq, fnv: fn, val: arg,
+	ln := &w.lanes[int(e.shard)*len(w.shards)+int(target.shard)]
+	at := e.now + delay
+	if at < ln.last && len(ln.entries) > 0 {
+		ln.sorted = false // delay dropped mid-window (e.g. a link retune)
+	}
+	ln.last = at
+	ln.entries = append(ln.entries, xentry{
+		at: at, srcShard: e.shard, srcSeq: e.xseq, fnv: fn, val: arg,
 	})
-	mb.mu.Unlock()
 }
 
 // runWorld is RunUntil for a partitioned world: the windowed barrier loop.
 func (e *Env) runWorld(horizon Time) Time {
 	w := e.world
 	w.stopped.Store(false)
+	var p *wpool
+	if w.workers > 1 && len(w.shards) > 1 {
+		p = newWPool(w)
+		defer p.stop()
+	}
 	for !w.stopped.Load() {
 		w.deliverMail()
 		next := maxTime
-		for _, s := range w.shards {
-			if !s.queue.empty() && s.queue.peek().at < next {
-				next = s.queue.peek().at
+		for i, s := range w.shards {
+			t := maxTime
+			if !s.queue.empty() {
+				t = s.queue.peek().at
+			}
+			w.next[i] = t
+			if t < next {
+				next = t
 			}
 		}
 		if next == maxTime {
@@ -210,15 +370,18 @@ func (e *Env) runWorld(horizon Time) Time {
 			}
 			return horizon
 		}
-		if w.lookahead == maxTime {
+		if w.nchan == 0 && len(w.shards) > 1 {
 			panic("sim: partitioned world has pending events but no registered lookahead")
 		}
-		limit := next + w.lookahead
-		if limit > horizon {
-			limit = horizon + 1 // entries at exactly the horizon still run
-		}
+		w.planWindow(next, horizon)
 		w.windows++
-		w.runWindow(limit)
+		if p == nil {
+			for _, si := range w.active {
+				w.shards[si].runShard(w.limits[si])
+			}
+		} else {
+			p.window()
+		}
 		w.raisePanics()
 	}
 	// Quiescent (or stopped): align every clock to the furthest shard so
@@ -237,67 +400,178 @@ func (e *Env) runWorld(horizon Time) Time {
 	return maxNow
 }
 
-// deliverMail merges every mailbox into its destination heap in
-// deterministic (time, source shard, source sequence) order, stamping fresh
-// destination sequence numbers.
-func (w *world) deliverMail() {
-	for di := range w.mail {
-		mb := &w.mail[di]
-		mb.mu.Lock()
-		w.scratch = append(w.scratch[:0], mb.entries...)
-		for i := range mb.entries {
-			mb.entries[i] = xentry{}
+// planWindow computes each shard's safe horizon from its incoming channel
+// bounds and partitions the shards into this window's active set (next
+// event inside the horizon) and stalls.
+//
+// The horizon must account for deposit chains, not just direct neighbors:
+// a shard that is idle at the barrier can still be woken by a future
+// cross-shard deposit and then send onward. So the computation is a
+// shortest-path fixpoint — each shard's earliest conceivable execution
+// time, seeded by its own heap and relaxed along every channel:
+//
+//	est[j] = min(next[j], min over channels k->j of est[k] + b[k->j])
+//
+// (Bellman-Ford; all bounds are positive so it converges in < n passes.)
+// By induction over deposit chains, no shard k ever executes anything
+// earlier than est[k] from this barrier on — its heap events are >= next[k]
+// and any deposit reaching it rode a chain from some heap event through
+// positive channel bounds. Then
+//
+//	limit[i] = min over channels k->i of est[k] + b[k->i]
+//
+// is a sound horizon for shard i across all future windows: every later
+// arrival into i happens at or after it. The shard holding the global
+// minimum (est floor) has limit > next because every bound is positive, so
+// the window always makes progress. next is the global minimum next-event
+// time; the horizon telemetry accumulates how far past it the critical
+// shard may run — the wider that margin, the fewer barriers per unit of
+// simulated time.
+func (w *world) planWindow(next, horizon Time) {
+	n := len(w.shards)
+	cap := satAdd(horizon, 1) // entries at exactly the horizon still run
+	est := w.est
+	copy(est, w.next)
+	for pass := 1; pass < n; pass++ {
+		changed := false
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if k == j {
+					continue
+				}
+				b := w.bounds[k*n+j]
+				if b == noBound {
+					continue // no channel k->j: k cannot send here
+				}
+				if t := satAdd(est[k], b); t < est[j] {
+					est[j] = t
+					changed = true
+				}
+			}
 		}
-		mb.entries = mb.entries[:0]
-		mb.mu.Unlock()
-		ents := w.scratch
-		if len(ents) == 0 {
+		if !changed {
+			break
+		}
+	}
+	w.active = w.active[:0]
+	counted := false
+	for i := 0; i < n; i++ {
+		lim := noBound
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			b := w.bounds[k*n+i]
+			if b == noBound {
+				continue
+			}
+			if t := satAdd(est[k], b); t < lim {
+				lim = t
+			}
+		}
+		if lim > cap {
+			lim = cap
+		}
+		w.limits[i] = lim
+		if !counted && w.next[i] == next {
+			// The critical shard: its horizon advance is the window's width.
+			counted = true
+			w.horizon += lim - next
+		}
+		if w.next[i] < lim {
+			w.active = append(w.active, int32(i))
+		} else {
+			// Nothing runnable inside the horizon: the shard sits out this
+			// window waiting for the rest of the world (see WindowStats).
+			w.shards[i].windowStalls++
+		}
+	}
+}
+
+// deliverMail merges every destination's incoming lanes into its heap in
+// deterministic (time, source shard, source sequence) order, stamping
+// fresh destination sequence numbers. Each lane is appended in
+// nondecreasing at order by a single producer (srcSeq strictly increasing),
+// so delivery is a k-way merge across source lanes rather than a sort; a
+// lane that went out of order (a link delay lowered mid-run) is stably
+// re-sorted by at first, which preserves its srcSeq order. Buffers are
+// retained for reuse; entries are zeroed so the freelists can reclaim
+// their payloads.
+func (w *world) deliverMail() {
+	n := len(w.shards)
+	for di := 0; di < n; di++ {
+		dst := w.shards[di]
+		pending := 0
+		for j := 0; j < n; j++ {
+			if j == di {
+				continue
+			}
+			ln := &w.lanes[j*n+di]
+			if len(ln.entries) == 0 {
+				continue
+			}
+			pending += len(ln.entries)
+			if !ln.sorted {
+				ents := ln.entries
+				sort.SliceStable(ents, func(a, b int) bool { return ents[a].at < ents[b].at })
+				ln.sorted = true
+			}
+		}
+		if pending == 0 {
 			continue
 		}
-		sort.Slice(ents, func(i, j int) bool {
-			if ents[i].at != ents[j].at {
-				return ents[i].at < ents[j].at
+		for k := 0; k < pending; k++ {
+			best := -1
+			var bestAt Time
+			for j := 0; j < n; j++ {
+				if j == di {
+					continue
+				}
+				ln := &w.lanes[j*n+di]
+				if ln.head >= len(ln.entries) {
+					continue
+				}
+				if at := ln.entries[ln.head].at; best < 0 || at < bestAt {
+					best, bestAt = j, at
+					// Ties break toward the lower source shard: j ascends.
+				}
 			}
-			if ents[i].srcShard != ents[j].srcShard {
-				return ents[i].srcShard < ents[j].srcShard
-			}
-			return ents[i].srcSeq < ents[j].srcSeq
-		})
-		dst := w.shards[di]
-		for _, x := range ents {
+			ln := &w.lanes[best*n+di]
+			x := &ln.entries[ln.head]
+			ln.head++
 			if x.at < dst.now {
 				panic(fmt.Sprintf("sim: cross-shard event at %v arrives in shard %d's past (now %v)", x.at, di, dst.now))
 			}
 			dst.push(entry{at: x.at, kind: kindFnArg, fnv: x.fnv, val: x.val})
 		}
+		for j := 0; j < n; j++ {
+			if j == di {
+				continue
+			}
+			ln := &w.lanes[j*n+di]
+			if len(ln.entries) == 0 {
+				continue
+			}
+			for i := range ln.entries {
+				ln.entries[i] = xentry{}
+			}
+			ln.entries = ln.entries[:0]
+			ln.head = 0
+			ln.last = 0
+			ln.sorted = true
+		}
 	}
 }
 
-// runWindow executes every shard's events with at < limit, in parallel on
-// the world's workers.
-func (w *world) runWindow(limit Time) {
-	if w.workers <= 1 {
-		for _, s := range w.shards {
-			s.runShard(limit)
-		}
-		return
+// runShards executes this window's active shards with a static round-robin
+// assignment: worker k takes active[k], active[k+stride], ... The
+// assignment is a pure function of the active set, so the work each worker
+// does (though not its interleaving) is deterministic.
+func (w *world) runShards(k, stride int) {
+	for i := k; i < len(w.active); i += stride {
+		si := w.active[i]
+		w.shards[si].runShard(w.limits[si])
 	}
-	var wg sync.WaitGroup
-	idx := make(chan *Env, len(w.shards))
-	for i := 0; i < w.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range idx {
-				s.runShard(limit)
-			}
-		}()
-	}
-	for _, s := range w.shards {
-		idx <- s
-	}
-	close(idx)
-	wg.Wait()
 }
 
 // runShard drains one shard's heap up to (but excluding) limit. A panic
@@ -308,13 +582,7 @@ func (w *world) runWindow(limit Time) {
 // failure is independent of worker scheduling.
 func (s *Env) runShard(limit Time) {
 	w := s.world
-	before := s.executed
 	defer func() {
-		if s.executed == before {
-			// The shard had nothing runnable this window: it stalled on the
-			// barrier waiting for the rest of the world (see WindowStats).
-			s.windowStalls++
-		}
 		if r := recover(); r != nil {
 			w.pmu.Lock()
 			w.panics = append(w.panics, shardPanic{at: s.now, shard: s.shard, val: r})
@@ -330,20 +598,135 @@ func (s *Env) runShard(limit Time) {
 	}
 }
 
+// wpool is the persistent shard-worker pool: workers 1..n-1 are goroutines
+// that live for one runWorld invocation, worker 0 is the coordinator (the
+// caller of window) participating in place. Windows are released by
+// bumping a generation counter and collected by counting arrivals down —
+// a reusable two-phase barrier. Both phases spin briefly before parking on
+// a condition variable, so back-to-back small windows stay in user space
+// while long ones don't burn CPU.
+type wpool struct {
+	w       *world
+	workers int
+	start   atomic.Uint64 // window generation; bumped (under mu) to release
+	arrived atomic.Int64  // workers yet to finish the current window
+	quit    atomic.Bool
+
+	mu    sync.Mutex
+	cond  *sync.Cond // workers park here between windows
+	dmu   sync.Mutex
+	dcond *sync.Cond // the coordinator parks here awaiting arrivals
+	wg    sync.WaitGroup
+}
+
+// barrierSpin bounds the user-space spinning (with yields) either side of
+// the barrier before falling back to a condition variable. Gosched in the
+// loop keeps the pool live even at GOMAXPROCS=1.
+const barrierSpin = 128
+
+func newWPool(w *world) *wpool {
+	workers := w.workers
+	if workers > len(w.shards) {
+		workers = len(w.shards)
+	}
+	p := &wpool{w: w, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.dcond = sync.NewCond(&p.dmu)
+	p.wg.Add(workers - 1)
+	for k := 1; k < workers; k++ {
+		go p.worker(k)
+	}
+	return p
+}
+
+func (p *wpool) worker(k int) {
+	defer p.wg.Done()
+	var gen uint64
+	for {
+		gen = p.awaitStart(gen)
+		if p.quit.Load() {
+			return
+		}
+		p.w.runShards(k, p.workers)
+		if p.arrived.Add(-1) == 0 {
+			p.dmu.Lock()
+			p.dcond.Signal()
+			p.dmu.Unlock()
+		}
+	}
+}
+
+// awaitStart blocks until the generation moves past gen and returns the
+// new generation: spin first, then park. The generation is re-read under
+// mu around Wait, so a bump between the spin and the park cannot be lost.
+func (p *wpool) awaitStart(gen uint64) uint64 {
+	for i := 0; i < barrierSpin; i++ {
+		if g := p.start.Load(); g != gen {
+			return g
+		}
+		runtime.Gosched()
+	}
+	p.mu.Lock()
+	for p.start.Load() == gen {
+		p.cond.Wait()
+	}
+	g := p.start.Load()
+	p.mu.Unlock()
+	return g
+}
+
+// window runs one window across the pool: release every worker, run the
+// coordinator's own share, then wait for the last arrival. The arrival
+// counter is re-checked under dmu before parking, so the last worker's
+// signal cannot be missed.
+func (p *wpool) window() {
+	p.arrived.Store(int64(p.workers))
+	p.mu.Lock()
+	p.start.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.w.runShards(0, p.workers)
+	if p.arrived.Add(-1) == 0 {
+		return
+	}
+	for i := 0; i < barrierSpin; i++ {
+		if p.arrived.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+	p.dmu.Lock()
+	for p.arrived.Load() != 0 {
+		p.dcond.Wait()
+	}
+	p.dmu.Unlock()
+}
+
+// stop releases the workers one last time with quit set and joins them.
+func (p *wpool) stop() {
+	p.quit.Store(true)
+	p.mu.Lock()
+	p.start.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
 // ShardStats describes one shard's share of a partitioned world's work: the
 // events it dispatched and the windows it spent stalled on the barrier with
 // nothing runnable (high stall counts mean the site's workload is much
-// lighter than its peers', or the lookahead window is too small to batch
-// useful work).
+// lighter than its peers', or its incoming channel bounds are too small to
+// batch useful work).
 type ShardStats struct {
 	Shard    int
 	Executed int64
 	Stalls   int64
 }
 
-// WindowStats returns the number of conservative scheduler windows run so
-// far and per-shard work counters, or (0, nil) on an unpartitioned
-// environment. Call it between runs, not from concurrent shard code.
+// WindowStats returns the cumulative number of conservative scheduler
+// windows run so far and per-shard work counters, or (0, nil) on an
+// unpartitioned environment. Call it between runs, not from concurrent
+// shard code; for per-interval deltas use TakeWindowStats.
 func (e *Env) WindowStats() (int64, []ShardStats) {
 	w := e.world
 	if w == nil {
@@ -354,6 +737,55 @@ func (e *Env) WindowStats() (int64, []ShardStats) {
 		out[i] = ShardStats{Shard: i, Executed: s.executed, Stalls: s.windowStalls}
 	}
 	return w.windows, out
+}
+
+// HorizonAdvance returns the cumulative safe-horizon advance (in simulated
+// time) granted to the critical shard across all windows so far: the sum
+// over windows of (limit − globalNext) for the shard holding the minimum
+// next-event time. Larger totals over the same simulated interval mean
+// wider windows — fewer barriers per unit of progress.
+func (e *Env) HorizonAdvance() Time {
+	if w := e.world; w != nil {
+		return w.horizon
+	}
+	return 0
+}
+
+// WindowDelta is one TakeWindowStats interval: scheduler windows run,
+// cumulative horizon advance, and per-shard work since the previous Take.
+type WindowDelta struct {
+	Windows int64
+	Horizon Time
+	Shards  []ShardStats
+}
+
+// TakeWindowStats returns the window/horizon/per-shard counters accumulated
+// since the previous TakeWindowStats call (or since Partition) and marks
+// the new baseline, so periodic reporters see per-interval counts instead
+// of re-counting the whole run. Returns a zero delta with nil Shards on an
+// unpartitioned environment. Call it between runs, not from concurrent
+// shard code.
+func (e *Env) TakeWindowStats() WindowDelta {
+	w := e.world
+	if w == nil {
+		return WindowDelta{}
+	}
+	d := WindowDelta{
+		Windows: w.windows - w.repWindows,
+		Horizon: w.horizon - w.repHorizon,
+		Shards:  make([]ShardStats, len(w.shards)),
+	}
+	w.repWindows = w.windows
+	w.repHorizon = w.horizon
+	for i, s := range w.shards {
+		d.Shards[i] = ShardStats{
+			Shard:    i,
+			Executed: s.executed - w.repShards[i].Executed,
+			Stalls:   s.windowStalls - w.repShards[i].Stalls,
+		}
+		w.repShards[i] = ShardStats{Shard: i, Executed: s.executed, Stalls: s.windowStalls}
+	}
+	return d
 }
 
 // raisePanics rethrows the earliest (time, shard) panic recorded during the

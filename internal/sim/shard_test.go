@@ -48,26 +48,31 @@ func TestPartitionTwicePanics(t *testing.T) {
 	env.Partition(2)
 }
 
-// shardedPingPong builds an n-shard world where every shard bounces an
-// event to the next shard with the given lookahead delay, and returns the
-// order in which deliveries executed.
+// shardedPingPong builds a 3-shard world where every shard bounces an
+// event to the next shard with the given lookahead delay, and returns each
+// shard's delivery log. The logs are kept per shard — each is written only
+// by the shard executing the delivery, so the collection is race-free under
+// parallel workers, and per-shard execution order (plus the deterministic
+// cross-shard merge feeding it) is exactly what the protocol guarantees;
+// the interleaving *between* shards inside one window is scheduling noise.
 func shardedPingPong(workers int, rounds int) []string {
 	env := NewEnv()
 	env.SetShardWorkers(workers)
 	views := env.Partition(3)
 	env.RegisterLookahead(10 * Microsecond)
-	var order []string
+	order := make([][]string, len(views))
 	var send func(from int, round int) func(any)
 	send = func(from, round int) func(any) {
 		return func(any) {
-			order = append(order, fmt.Sprintf("r%d:s%d@%v", round, from, views[from].Now()))
+			order[from] = append(order[from], fmt.Sprintf("r%d:s%d@%v", round, from, views[from].Now()))
 			if round < rounds {
 				next := (from + 1) % len(views)
 				views[from].AtArgOn(views[next], 10*Microsecond, send(next, round+1), nil)
 			}
 		}
 	}
-	// Seed one event per shard locally.
+	// Seed one event per shard locally: three concurrent cascades chasing
+	// each other around the ring.
 	for i, v := range views {
 		i, v := i, v
 		v.At(Microsecond, func() {
@@ -76,19 +81,19 @@ func shardedPingPong(workers int, rounds int) []string {
 		})
 	}
 	env.Run()
-	return order
+	var flat []string
+	for i, o := range order {
+		flat = append(flat, fmt.Sprintf("shard%d{%s}", i, strings.Join(o, ",")))
+	}
+	return flat
 }
 
-// TestCrossShardDeterminism runs the same cross-shard event cascade
-// sequentially and with parallel workers; the executed order (and clocks)
-// must be identical. Note the order slice is written from shard callbacks:
-// with workers > 1 that would race if two shards ran the same appends
-// concurrently, but the cascade is serialized by construction (each
-// delivery schedules the next); the determinism being tested is the merge
-// and window order.
+// TestCrossShardDeterminism runs the same cross-shard event cascades
+// sequentially and with parallel workers; every shard's executed order
+// (and clocks) must be identical.
 func TestCrossShardDeterminism(t *testing.T) {
 	seq := shardedPingPong(1, 40)
-	if len(seq) == 0 {
+	if len(strings.Join(seq, "")) < 100 {
 		t.Fatal("no deliveries executed")
 	}
 	par := shardedPingPong(4, 40)

@@ -7,7 +7,7 @@ import (
 )
 
 // presetNames lists the built-in topology presets in display order.
-var presetNames = []string{"paper", "star3", "ring4", "mesh4"}
+var presetNames = []string{"paper", "star3", "star3-hetero", "ring4", "mesh4"}
 
 // PresetNames returns the names Preset accepts, in display order.
 func PresetNames() []string {
@@ -21,13 +21,19 @@ func PresetNames() []string {
 // paper sizes, or 4 nodes per site elsewhere); delay is applied to every
 // link.
 //
-//	paper   the two-site testbed of Fig. 2 (A: 32x2-core, B: 6x8-core)
-//	star3   hub + two satellite sites, all traffic through the hub
-//	ring4   four sites in a cycle, two disjoint paths between any pair
-//	mesh4   four sites, a dedicated link between every pair
+//	paper          the two-site testbed of Fig. 2 (A: 32x2-core, B: 6x8-core)
+//	star3          hub + two satellite sites, all traffic through the hub
+//	star3-hetero   hub + three satellites with heterogeneous link delays:
+//	               hub–s1 at the base delay (a metro hop), hub–s2 and
+//	               hub–s3 at 10x (transcontinental hops)
+//	ring4          four sites in a cycle, two disjoint paths between any pair
+//	mesh4          four sites, a dedicated link between every pair
 //
 // star3 sites use LeafRadix 2, exercising the two-level fat tree under
-// multi-site experiments.
+// multi-site experiments. star3-hetero is the channel-clock scheduler's
+// stress shape: under a global minimum lookahead the short metro link
+// would force its 1x windows on the 10x links' shards; per-channel bounds
+// let each shard's horizon follow its own incoming links.
 func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 	n := nodesPerSite
 	switch name {
@@ -57,6 +63,24 @@ func Preset(name string, nodesPerSite int, delay sim.Time) (Topology, error) {
 			Links: []Link{
 				{A: "hub", B: "s1", Delay: delay},
 				{A: "hub", B: "s2", Delay: delay},
+			},
+			Shardable: true,
+		}, nil
+	case "star3-hetero":
+		if n <= 0 {
+			n = 4
+		}
+		return Topology{
+			Sites: []Site{
+				{Name: "hub", Nodes: n, LeafRadix: 2},
+				{Name: "s1", Nodes: n, LeafRadix: 2},
+				{Name: "s2", Nodes: n, LeafRadix: 2},
+				{Name: "s3", Nodes: n, LeafRadix: 2},
+			},
+			Links: []Link{
+				{A: "hub", B: "s1", Delay: delay},
+				{A: "hub", B: "s2", Delay: 10 * delay},
+				{A: "hub", B: "s3", Delay: 10 * delay},
 			},
 			Shardable: true,
 		}, nil

@@ -66,7 +66,8 @@ type Topology struct {
 	// Shardable marks the spec as eligible for sharded parallel execution:
 	// Build may partition the environment into one event shard per site
 	// (sim.Env.Partition) when the run asks for shard workers and every
-	// cross-site link can serve as a conservative lookahead bound. The
+	// cross-site link can serve as a conservative channel bound between
+	// its two site shards (per-direction lookahead). The
 	// built-in presets set it; the classic two-site testbed (cluster.New)
 	// leaves it false, so the paper's golden experiments never shard.
 	Shardable bool
@@ -297,9 +298,11 @@ func (t Topology) shardEligible(env *sim.Env) bool {
 // When the spec and run qualify (see shardEligible), Build partitions env
 // into one event shard per site and compiles each site's devices, node
 // CPUs and — transitively — all software layered on them onto that site's
-// shard view. WAN links become the cross-shard edges, their delays the
-// conservative lookahead bound, so Env.Run executes the sites in parallel
-// with output identical to the single-heap run.
+// shard view. WAN links become the cross-shard edges, each link's delay
+// the conservative bound of its own directed channels, so Env.Run executes
+// the sites in parallel — every shard's window sized by its own incoming
+// links, not the world minimum — with output identical to the single-heap
+// run.
 func Build(env *sim.Env, t Topology) (*Network, error) {
 	t = t.fill()
 	if err := t.Validate(); err != nil {

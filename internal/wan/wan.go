@@ -41,10 +41,10 @@ func DelayForDistance(km float64) (sim.Time, error) {
 // wire length is meaningless).
 //
 // On sharded worlds the returned delay doubles as the link's conservative
-// lookahead contribution: a WAN link's propagation delay is a lower bound
-// on the latency of any cross-shard event it carries, which is exactly the
-// lookahead the parallel scheduler needs (see sim.Env.RegisterLookahead
-// and NewPairAcross).
+// channel bound: a WAN link's propagation delay is a lower bound on the
+// latency of any cross-shard event it carries, which is exactly the
+// per-channel lookahead the parallel scheduler needs (see
+// sim.Env.RegisterLookaheadBetween and NewPairAcross).
 func DistanceForDelay(d sim.Time) (float64, error) {
 	if d < 0 {
 		return 0, fmt.Errorf("wan: negative delay %v (a WAN delay must be a non-negative lower bound on cross-shard event latency)", d)
@@ -72,8 +72,9 @@ type Pair struct {
 	link *ib.Link
 	// envA/envB are the ends' home environments. They differ only when the
 	// pair was created with NewPairAcross on a partitioned world, in which
-	// case the link's delay is registered as the world's conservative
-	// lookahead bound and the delay knob refuses values below it.
+	// case the link's delay is registered as the conservative bound of the
+	// directed channel between the two shards (one per direction) and the
+	// delay knob refuses values below it.
 	envA, envB *sim.Env
 }
 
@@ -99,10 +100,13 @@ func NewPairBetween(f *ib.Fabric, name, endA, endB string, delay sim.Time) *Pair
 // NewPairBetween. On a partitioned world it is the topology compiler's
 // cross-shard edge: the two ends live on their sites' shard views, packet
 // delivery crosses through the kernel's mailbox path, and the link's
-// propagation delay is registered as the world's conservative lookahead
-// bound — the delay is a lower bound on how far in the future any event
-// this link sends into the peer shard can land, which is the promise the
-// windowed parallel scheduler runs on.
+// propagation delay is registered as the conservative bound of the directed
+// channel between the two shards, one registration per direction — the
+// delay is a lower bound on how far in the future any event this link sends
+// into the peer shard can land, which is the promise the windowed parallel
+// scheduler runs on. Because the bound is per channel, a long link's
+// windows are sized by its own delay even when a much shorter link exists
+// elsewhere in the topology.
 func NewPairAcross(f *ib.Fabric, name, endA, endB string, delay sim.Time, envA, envB *sim.Env) *Pair {
 	f.UseEnv(envA)
 	a := &Longbow{name: name + "-" + endA, sw: f.AddSwitch(name+"-"+endA, ForwardingDelay)}
@@ -113,10 +117,12 @@ func NewPairAcross(f *ib.Fabric, name, endA, endB string, delay sim.Time, envA, 
 	// The long-haul hop is where utilization and queueing telemetry lives.
 	link.MarkWAN()
 	if envA != envB {
-		// This link is a cross-shard edge: its delay bounds the lookahead.
-		// (RegisterLookahead rejects a non-positive bound — the compiler
-		// only partitions worlds whose WAN links all have positive delay.)
-		envA.RegisterLookahead(delay)
+		// This link is a cross-shard edge: its delay bounds the directed
+		// channel in each direction. (RegisterLookaheadBetween rejects a
+		// non-positive bound — the compiler only partitions worlds whose
+		// WAN links all have positive delay.)
+		envA.RegisterLookaheadBetween(envB, delay)
+		envB.RegisterLookaheadBetween(envA, delay)
 	}
 	// If the environment carries a fault plan, this is the link it wants:
 	// arm the plan's WAN levers (loss models, flaps, brownouts, rate
@@ -140,11 +146,18 @@ func (p *Pair) SetDelay(d sim.Time) {
 	p.link.SetDelay(d)
 }
 
-// lookahead returns the world's registered lookahead bound when the pair
-// bridges two shards, else 0.
+// lookahead returns the registered bound of this pair's own cross-shard
+// channel (the smaller direction, though both are registered with the same
+// link delay) when the pair bridges two shards, else 0. The guard is per
+// channel: a link may be retuned freely down to its own registered bound
+// without reference to shorter links elsewhere in the world.
 func (p *Pair) lookahead() sim.Time {
 	if p.envA != nil && p.envA != p.envB && p.envA.Sharded() {
-		return p.envA.Lookahead()
+		la := p.envA.ChannelLookahead(p.envB)
+		if ba := p.envB.ChannelLookahead(p.envA); ba > 0 && (la == 0 || ba < la) {
+			la = ba
+		}
+		return la
 	}
 	return 0
 }
