@@ -40,11 +40,22 @@
 //	ibwan-exp -quick -fault wan-down fig8           # chaos: WAN dead, ERR rows
 //	ibwan-exp -quick -topo ring4 multisite-bcast    # 4-site ring, flat vs hier bcast
 //	ibwan-exp -quick -topo mesh4 -shards 4 multisite-allreduce  # sharded 4-site world
+//	ibwan-exp -quick -sample-every 1ms -timeline-out tl.json fig8   # sampled timelines
+//	ibwan-exp -quick -sample-every 1ms -timeline-out tl.csv loss-flap  # same, CSV
 //	ibwan-exp -list                                 # experiment ids + descriptions
 //
+// -sample-every arms the sim-time timeline sampler: every point's metrics
+// are snapshotted at that cadence of virtual time into deterministic
+// per-interval series (counter rates, hi-res histogram percentiles), written
+// by -timeline-out as JSON ("ibwan-timeline/v1") or CSV (.csv suffix).
+// Sampling never perturbs the simulation and timelines are byte-identical
+// at any -par / -shards combination. With -trace-out, the sampled series
+// also appear as Perfetto counter tracks pinned above the span rows.
+//
 // Every output path (-json, -bench, -cpuprofile, -memprofile, -trace-out,
-// -metrics-out) is opened before any simulation runs, so an unwritable path
-// fails immediately instead of discarding results after minutes of work.
+// -metrics-out, -timeline-out) is opened before any simulation runs, so an
+// unwritable path fails immediately instead of discarding results after
+// minutes of work.
 package main
 
 import (
@@ -59,6 +70,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
@@ -94,6 +106,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto (Chrome trace event) JSON trace of the run to this file ('-' = stdout, suppresses tables); forces -par 1")
 	metricsOut := flag.String("metrics-out", "", "write a telemetry metrics dump to this file ('-' = stdout, suppresses tables; a .json suffix selects JSON, otherwise text)")
 	spanDepth := flag.Int("span-depth", 0, "suppress trace spans nested deeper than this (0 = unlimited; applies to -trace-out)")
+	sampleEvery := flag.Duration("sample-every", 0, "sample telemetry timelines at this interval of virtual time (e.g. 1ms; output is identical at any -par/-shards)")
+	timelineOut := flag.String("timeline-out", "", "write sampled timelines to this file ('-' = stdout, suppresses tables; a .csv suffix selects CSV, otherwise JSON); requires -sample-every")
 	faultSpec := flag.String("fault", "", "run-wide chaos plan, e.g. 'wan-loss=0.01,seed=7' or 'wan-down' or 'wan-flap=5ms:20ms' (failed points render as ERR)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -140,7 +154,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	ropt := core.RunnerOptions{Workers: *par}
+	// Validate observability knobs before any simulation: a zero or negative
+	// sampling interval, a negative span depth, or a timeline sink with no
+	// sampler are configuration errors, reported exactly like an unknown
+	// experiment id (usage + exit 2), not silently ignored.
+	if flagSet("sample-every") && *sampleEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: -sample-every must be a positive duration (got %v)\n\n", *sampleEvery)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *spanDepth < 0 {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: -span-depth must be non-negative (got %d)\n\n", *spanDepth)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *timelineOut != "" && *sampleEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "ibwan-exp: -timeline-out requires -sample-every (there is nothing to write without a sampling interval)\n\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ropt := core.RunnerOptions{Workers: *par, SampleEvery: sim.Duration(*sampleEvery)}
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "ibwan-exp: -shards must be at least 1 (got %d)\n", *shards)
 		os.Exit(2)
@@ -188,6 +221,7 @@ func main() {
 		{"bench", *benchOut},
 		{"trace-out", *traceOut},
 		{"metrics-out", *metricsOut},
+		{"timeline-out", *timelineOut},
 	} {
 		if o.path == "" {
 			continue
@@ -217,8 +251,9 @@ func main() {
 	}
 	// Rendered tables would corrupt any machine-readable stream sharing
 	// stdout, so '-' on any report flag suppresses them.
-	render := outs["json"] != os.Stdout && outs["trace-out"] != os.Stdout && outs["metrics-out"] != os.Stdout
-	err := run(ids, opt, ropt, outs["bench"], outs["json"], *csv, *chart, render)
+	render := outs["json"] != os.Stdout && outs["trace-out"] != os.Stdout &&
+		outs["metrics-out"] != os.Stdout && outs["timeline-out"] != os.Stdout
+	results, err := run(ids, opt, ropt, outs["bench"], outs["json"], *csv, *chart, render)
 	if outs["cpuprofile"] != nil {
 		pprof.StopCPUProfile()
 	}
@@ -227,8 +262,14 @@ func main() {
 			err = merr
 		}
 	}
+	timelines := collectTimelines(results)
 	if err == nil {
-		err = writeTelemetry(outs["trace-out"], outs["metrics-out"], *metricsOut, tel)
+		if f := outs["timeline-out"]; f != nil {
+			err = writeTimeline(f, *timelineOut, ropt.SampleEvery, timelines)
+		}
+	}
+	if err == nil {
+		err = writeTelemetry(outs["trace-out"], outs["metrics-out"], *metricsOut, tel, timelines)
 	}
 	for _, f := range outs {
 		if f != os.Stdout {
@@ -251,16 +292,42 @@ func outFile(path string) (*os.File, error) {
 	return os.Create(path)
 }
 
+// collectTimelines flattens the per-experiment sampled timelines in run
+// order (empty unless -sample-every was set).
+func collectTimelines(results []core.Result) []telemetry.PointTimeline {
+	var out []telemetry.PointTimeline
+	for _, res := range results {
+		out = append(out, res.Timelines...)
+	}
+	return out
+}
+
+// writeTimeline serializes the sampled timelines; a .csv suffix on the
+// output path selects CSV, anything else the ibwan-timeline/v1 JSON schema.
+func writeTimeline(f *os.File, path string, every sim.Time, pts []telemetry.PointTimeline) error {
+	var err error
+	if strings.HasSuffix(path, ".csv") {
+		err = telemetry.WriteTimelineCSV(f, every, pts)
+	} else {
+		err = telemetry.WriteTimelineJSON(f, every, pts)
+	}
+	if err != nil {
+		return fmt.Errorf("timeline-out: %w", err)
+	}
+	return nil
+}
+
 // writeTelemetry emits the trace and metrics dumps after the run. The
 // metrics format follows the path: a .json suffix (or JSON-loving tools
 // reading files by extension) selects the stable JSON schema, anything else
-// the aligned text table.
-func writeTelemetry(trace, metrics *os.File, metricsPath string, tel *telemetry.Telemetry) error {
+// the aligned text table. Sampled timelines, when present, become Perfetto
+// counter tracks alongside the spans.
+func writeTelemetry(trace, metrics *os.File, metricsPath string, tel *telemetry.Telemetry, pts []telemetry.PointTimeline) error {
 	if tel == nil {
 		return nil
 	}
 	if trace != nil {
-		if err := telemetry.WritePerfetto(trace, tel.Spans); err != nil {
+		if err := telemetry.WritePerfettoTimeline(trace, tel.Spans, pts); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 	}
@@ -278,13 +345,14 @@ func writeTelemetry(trace, metrics *os.File, metricsPath string, tel *telemetry.
 	return nil
 }
 
-// run executes the selected experiments and renders or serializes results.
+// run executes the selected experiments and renders or serializes results,
+// returning them so main can emit the timeline and trace outputs.
 // Profiling bookkeeping stays in main: every exit path from here returns,
 // so the profiles are always flushed. Output files arrive as already-open
 // handles (nil = not requested).
-func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, jsonOut *os.File, csv, chart, render bool) error {
+func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, jsonOut *os.File, csv, chart, render bool) ([]core.Result, error) {
 	if benchOut != nil {
-		return runBench(benchOut, ids, opt, ropt)
+		return nil, runBench(benchOut, ids, opt, ropt)
 	}
 	var results []core.Result
 	for _, id := range ids {
@@ -307,9 +375,9 @@ func run(ids []string, opt core.Options, ropt core.RunnerOptions, benchOut, json
 		core.RenderErrors(os.Stdout, res.Errors)
 	}
 	if jsonOut != nil {
-		return writeJSONReport(jsonOut, opt, ropt, results)
+		return results, writeJSONReport(jsonOut, opt, ropt, results)
 	}
-	return nil
+	return results, nil
 }
 
 // writeMemProfile records the live-heap allocation profile at exit.
@@ -353,6 +421,15 @@ type jsonPointError struct {
 	Err   string `json:"err"`
 }
 
+// jsonTimeline summarizes one point's sampled timeline (the full series
+// live in the -timeline-out file; the report only carries enough to see
+// sampling happened and how much).
+type jsonTimeline struct {
+	Label   string `json:"label"`
+	Series  int    `json:"series"`
+	Samples int    `json:"samples"`
+}
+
 type jsonTable struct {
 	Title  string       `json:"title"`
 	XLabel string       `json:"x_label"`
@@ -374,15 +451,17 @@ type jsonExperiment struct {
 	ShardHorizonS float64          `json:"shard_horizon_s,omitempty"`
 	Tables        []jsonTable      `json:"tables"`
 	Errors        []jsonPointError `json:"errors,omitempty"`
+	Timelines     []jsonTimeline   `json:"timelines,omitempty"`
 }
 
 type jsonReport struct {
-	Schema      string           `json:"schema"`
-	Quick       bool             `json:"quick"`
-	Par         int              `json:"par"`
-	Cores       int              `json:"cores"`
-	TotalWallMS float64          `json:"total_wall_ms"`
-	Experiments []jsonExperiment `json:"experiments"`
+	Schema        string           `json:"schema"`
+	Quick         bool             `json:"quick"`
+	Par           int              `json:"par"`
+	Cores         int              `json:"cores"`
+	SampleEveryNS int64            `json:"sample_every_ns,omitempty"`
+	TotalWallMS   float64          `json:"total_wall_ms"`
+	Experiments   []jsonExperiment `json:"experiments"`
 }
 
 func toJSONTables(tabs []*stats.Table) []jsonTable {
@@ -399,16 +478,21 @@ func toJSONTables(tabs []*stats.Table) []jsonTable {
 
 func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, results []core.Result) error {
 	rep := jsonReport{
-		Schema: "ibwan-exp/v1",
-		Quick:  opt.Quick,
-		Par:    ropt.Workers,
-		Cores:  runtime.NumCPU(),
+		Schema:        "ibwan-exp/v1",
+		Quick:         opt.Quick,
+		Par:           ropt.Workers,
+		Cores:         runtime.NumCPU(),
+		SampleEveryNS: int64(ropt.SampleEvery),
 	}
 	for _, res := range results {
 		rep.TotalWallMS += float64(res.Metrics.Wall.Microseconds()) / 1e3
 		var errs []jsonPointError
 		for _, e := range res.Errors {
 			errs = append(errs, jsonPointError{Label: e.Label, Err: e.Err})
+		}
+		var tls []jsonTimeline
+		for _, pt := range res.Timelines {
+			tls = append(tls, jsonTimeline{Label: pt.Point, Series: len(pt.Series), Samples: pt.SampleCount()})
 		}
 		rep.Experiments = append(rep.Experiments, jsonExperiment{
 			ID:            res.ID,
@@ -421,6 +505,7 @@ func writeJSONReport(w io.Writer, opt core.Options, ropt core.RunnerOptions, res
 			ShardHorizonS: res.Metrics.ShardHorizon.Seconds(),
 			Tables:        toJSONTables(res.Tables),
 			Errors:        errs,
+			Timelines:     tls,
 		})
 	}
 	return writeJSON(w, rep)

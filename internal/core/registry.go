@@ -70,6 +70,22 @@ type Meter struct {
 	// eligible for per-site sharding (topo.Build partitions when the
 	// topology and fault plan allow it; see RunnerOptions.ShardWorkers).
 	shardWorkers int
+	// sampleEvery > 0 arms sim-time timeline sampling: every environment
+	// the point creates gets its own metrics registry and a Sampler wired
+	// to the kernel's sampling hook, so concurrently running points never
+	// interleave their sampled deltas. The per-env registries fold back
+	// into the shared registry (tel.Metrics) when the point completes —
+	// counter and bucket adds commute, so run-wide totals stay independent
+	// of point scheduling.
+	sampleEvery sim.Time
+	samplers    []envSampler
+}
+
+// envSampler pairs one sampled environment with its private registry.
+type envSampler struct {
+	env *sim.Env
+	reg *telemetry.Registry
+	s   *telemetry.Sampler
 }
 
 // NewEnv creates a simulation environment owned by this point.
@@ -79,7 +95,17 @@ func (m *Meter) NewEnv() *sim.Env {
 		if m.shardWorkers > 1 {
 			env.SetShardWorkers(m.shardWorkers)
 		}
-		if m.tel != nil {
+		if m.sampleEvery > 0 {
+			reg := telemetry.NewRegistry()
+			t := &telemetry.Telemetry{Metrics: reg}
+			if m.tel != nil {
+				t.Spans = m.tel.Spans
+			}
+			telemetry.Attach(env, t)
+			s := telemetry.NewSampler(reg, m.sampleEvery)
+			env.SetSampler(m.sampleEvery, s.Tick)
+			m.samplers = append(m.samplers, envSampler{env: env, reg: reg, s: s})
+		} else if m.tel != nil {
 			telemetry.Attach(env, m.tel)
 		}
 		if m.fault != nil {
@@ -90,6 +116,30 @@ func (m *Meter) NewEnv() *sim.Env {
 		m.envs = append(m.envs, env)
 	}
 	return env
+}
+
+// takeTimeline assembles the point's sampled timeline: each environment's
+// series stacked end to end (environment i's samples shifted by the virtual
+// time consumed by environments 0..i-1, mirroring the span recorder's epoch
+// stacking), derived series computed, and the per-env registries merged
+// into the run-wide one. Call after the point's Fn returned, before close.
+func (m *Meter) takeTimeline(experiment, label string, traceOff sim.Time) telemetry.PointTimeline {
+	pt := telemetry.PointTimeline{
+		Experiment: experiment, Point: label,
+		Every: m.sampleEvery, TraceOffset: traceOff,
+	}
+	var shared *telemetry.Registry
+	if m.tel != nil {
+		shared = m.tel.Metrics
+	}
+	var offset sim.Time
+	for _, es := range m.samplers {
+		pt.Absorb(es.s.Series(), offset)
+		offset += es.env.Now()
+		es.reg.MergeInto(shared)
+	}
+	pt.Finish()
+	return pt
 }
 
 // WithFault installs a fault plan for every environment the point creates

@@ -43,6 +43,16 @@ type RunnerOptions struct {
 	// each point draws from its own injector streams regardless of worker
 	// count.
 	Fault *fault.Plan
+	// SampleEvery > 0 arms the sim-time timeline sampler: every environment
+	// a point creates gets a private metrics registry sampled at this
+	// cadence of virtual time, and the runner assembles one PointTimeline
+	// per point (Result.Timelines, plan order). Timelines are a pure
+	// function of the simulation — byte-identical at any Workers /
+	// ShardWorkers combination — and sampling never perturbs simulated
+	// behavior (the hook fires between events, not as an event). Per-env
+	// registries merge back into Telemetry.Metrics after each point, so
+	// end-of-run dumps still see run-wide totals.
+	SampleEvery sim.Time
 	// ShardWorkers > 1 lets each point's simulation world run sharded: a
 	// shardable multi-site topology splits into per-site event shards
 	// driven by up to this many OS workers under the conservative
@@ -140,6 +150,9 @@ type Result struct {
 	// Errors lists failed points in plan order (empty on a clean run).
 	// Their table cells render as ERR.
 	Errors []PointError
+	// Timelines holds each point's sampled timeline in plan order (nil
+	// unless RunnerOptions.SampleEvery was set).
+	Timelines []telemetry.PointTimeline
 }
 
 // Run generates the tables for one experiment id sequentially. The options
@@ -176,6 +189,13 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 	// read only after wg.Wait — error reporting order is plan order, never
 	// completion order.
 	errs := make([]string, len(pl.Points))
+	// Per-point timeline slots, same discipline: assembled in plan order
+	// after the pool drains, so serialized timelines are byte-identical at
+	// any worker count.
+	var timelines []telemetry.PointTimeline
+	if ropt.SampleEvery > 0 {
+		timelines = make([]telemetry.PointTimeline, len(pl.Points))
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -184,7 +204,15 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 			defer wg.Done()
 			for i := range idx {
 				pt := &pl.Points[i]
-				m := &Meter{tel: ropt.Telemetry, fault: ropt.Fault, shardWorkers: shardWorkers}
+				m := &Meter{tel: ropt.Telemetry, fault: ropt.Fault, shardWorkers: shardWorkers, sampleEvery: ropt.SampleEvery}
+				var traceOff sim.Time
+				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
+					// The recorder's epoch offset when the point starts
+					// (workers is forced to 1 with spans on, so this is
+					// exactly where the point's spans will land); counter
+					// tracks use it to align under the spans.
+					traceOff = tel.Spans.Offset()
+				}
 				t0 := time.Now()
 				y, err := runPoint(pt, m)
 				if err != nil {
@@ -192,6 +220,9 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 				}
 				pt.commit(y)
 				wins, hor := m.recordShardStats()
+				if timelines != nil {
+					timelines[i] = m.takeTimeline(spec.ID, pt.Label, traceOff)
+				}
 				m.close()
 				if tel := ropt.Telemetry; tel != nil && tel.Spans != nil {
 					// Harness span covering the point, then advance the
@@ -248,7 +279,7 @@ func runSpec(spec Spec, opt Options, ropt RunnerOptions) Result {
 		fmt.Fprintf(ropt.Progress, "\r\x1b[K[%s] %d points in %v (sim %v, %d events)\n",
 			spec.ID, agg.Points, agg.Wall.Round(time.Millisecond), agg.SimTime, agg.Events)
 	}
-	return Result{ID: spec.ID, Tables: pl.Tables, Metrics: agg, Errors: perr}
+	return Result{ID: spec.ID, Tables: pl.Tables, Metrics: agg, Errors: perr, Timelines: timelines}
 }
 
 // RunAll generates every experiment sequentially, rendering each table to

@@ -366,10 +366,11 @@ func (p *Port) send(pkt *packet) {
 		p.busyTime += ser
 		obs.wanTxPkts.Add(1)
 		obs.wanTxBytes.Add(int64(pkt.wire))
+		obs.wanBusy.Add(int64(ser))
 		obs.wanQueueWait.Observe(int64(start - now))
+		obs.wanQueueWaitHi.Observe(int64(start - now))
 		if depart > 0 {
 			util := int64(1000 * float64(p.busyTime) / float64(depart))
-			obs.wanUtil.Set(util)
 			obs.wanUtilHist.Observe(util)
 		}
 		if obs.rec != nil {

@@ -13,18 +13,20 @@ import (
 type fabObs struct {
 	rec *telemetry.Recorder
 
-	wanTxBytes    *telemetry.Counter
-	wanTxPkts     *telemetry.Counter
-	wanQueueWait  *telemetry.Histogram // egress queueing ahead of serialization, ns
-	wanUtil       *telemetry.Gauge     // busy-time share of elapsed time, permille
-	wanUtilHist   *telemetry.Histogram // same reading, distribution over packets
-	rcWindow      *telemetry.Histogram // in-flight window occupancy at launch
-	rcSendQ       *telemetry.Histogram // send-queue depth behind the window
-	rcRetransmits *telemetry.Counter
-	rcGiveUps     *telemetry.Counter // retry budgets exhausted
-	qpErrors      *telemetry.Counter // QP error-state transitions
-	udRecvDrops   *telemetry.Counter
-	linkDrops     *telemetry.Counter
+	wanTxBytes     *telemetry.Counter
+	wanTxPkts      *telemetry.Counter
+	wanBusy        *telemetry.Counter        // cumulative serialization (busy) time, ns
+	wanQueueWait   *telemetry.Histogram      // egress queueing ahead of serialization, ns
+	wanQueueWaitHi *telemetry.HiResHistogram // same site, percentile resolution
+	wanUtilHist    *telemetry.Histogram      // per-packet busy-time share of elapsed time, permille
+	rcWindow       *telemetry.Histogram      // in-flight window occupancy at launch
+	rcWindowHi     *telemetry.HiResHistogram // same site, percentile resolution
+	rcSendQ        *telemetry.Histogram      // send-queue depth behind the window
+	rcRetransmits  *telemetry.Counter
+	rcGiveUps      *telemetry.Counter // retry budgets exhausted
+	qpErrors       *telemetry.Counter // QP error-state transitions
+	udRecvDrops    *telemetry.Counter
+	linkDrops      *telemetry.Counter
 
 	// Track caches: devices and ports are few and long-lived, so per-event
 	// track resolution is a map hit.
@@ -39,19 +41,25 @@ type fabObs struct {
 func newFabObs(tel *telemetry.Telemetry) *fabObs {
 	m := tel.Metrics
 	o := &fabObs{
-		rec:           tel.Spans,
-		wanTxBytes:    m.Counter("wan.link.tx.bytes"),
-		wanTxPkts:     m.Counter("wan.link.tx.pkts"),
-		wanQueueWait:  m.Histogram("wan.link.queue.wait.ns"),
-		wanUtil:       m.Gauge("wan.link.utilization.permille"),
-		wanUtilHist:   m.Histogram("wan.link.utilization.permille"),
-		rcWindow:      m.Histogram("ib.rc.window.occupancy"),
-		rcSendQ:       m.Histogram("ib.rc.sendq.depth"),
-		rcRetransmits: m.Counter("ib.rc.retransmits"),
-		rcGiveUps:     m.Counter("ib.rc.retry.exhausted"),
-		qpErrors:      m.Counter("ib.qp.errors"),
-		udRecvDrops:   m.Counter("ib.ud.recv.drops"),
-		linkDrops:     m.Counter("ib.link.drops"),
+		rec:        tel.Spans,
+		wanTxBytes: m.Counter("wan.link.tx.bytes"),
+		wanTxPkts:  m.Counter("wan.link.tx.pkts"),
+		// Utilization is derived, not stored: the busy-time counter is
+		// deterministic under concurrent points (a gauge here would be
+		// last-write-wins) and the sampler/exporters divide per-interval
+		// busy deltas by wall (sim) time.
+		wanBusy:        m.Counter("wan.link.busy.ns"),
+		wanQueueWait:   m.Histogram("wan.link.queue.wait.ns"),
+		wanQueueWaitHi: m.HiRes("wan.link.queue.wait.ns"),
+		wanUtilHist:    m.Histogram("wan.link.utilization.permille"),
+		rcWindow:       m.Histogram("ib.rc.window.occupancy"),
+		rcWindowHi:     m.HiRes("ib.rc.window.occupancy"),
+		rcSendQ:        m.Histogram("ib.rc.sendq.depth"),
+		rcRetransmits:  m.Counter("ib.rc.retransmits"),
+		rcGiveUps:      m.Counter("ib.rc.retry.exhausted"),
+		qpErrors:       m.Counter("ib.qp.errors"),
+		udRecvDrops:    m.Counter("ib.ud.recv.drops"),
+		linkDrops:      m.Counter("ib.link.drops"),
 	}
 	if o.rec != nil {
 		o.verbsTracks = make(map[*HCA]telemetry.TrackID)

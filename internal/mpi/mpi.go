@@ -102,12 +102,13 @@ type World struct {
 // the rendezvous/eager counters and latency histograms the paper's §3.4
 // analysis needs.
 type mpiObs struct {
-	rec       *telemetry.Recorder
-	eagerMsgs *telemetry.Counter
-	rndvMsgs  *telemetry.Counter
-	msgBytes   *telemetry.Histogram
-	handshake  *telemetry.Histogram // RTS -> CTS round trip, ns
-	rndvStalls *telemetry.Counter   // rendezvous watchdog expiries without a CTS
+	rec         *telemetry.Recorder
+	eagerMsgs   *telemetry.Counter
+	rndvMsgs    *telemetry.Counter
+	msgBytes    *telemetry.Histogram
+	handshake   *telemetry.Histogram      // RTS -> CTS round trip, ns
+	handshakeHi *telemetry.HiResHistogram // same site, percentile resolution
+	rndvStalls  *telemetry.Counter        // rendezvous watchdog expiries without a CTS
 }
 
 // MessageProfile is the world's send-side message-size census — the
@@ -187,12 +188,13 @@ func NewWorld(env *sim.Env, placement []*cluster.Node, cfg Config) *World {
 	if tel := telemetry.FromEnv(env); tel != nil && (tel.Metrics != nil || tel.Spans != nil) {
 		m := tel.Metrics
 		w.obs = &mpiObs{
-			rec:        tel.Spans,
-			eagerMsgs:  m.Counter("mpi.eager.msgs"),
-			rndvMsgs:   m.Counter("mpi.rndv.msgs"),
-			msgBytes:   m.Histogram("mpi.msg.bytes"),
-			handshake:  m.Histogram("mpi.rndv.handshake.ns"),
-			rndvStalls: m.Counter("mpi.rndv.stalls"),
+			rec:         tel.Spans,
+			eagerMsgs:   m.Counter("mpi.eager.msgs"),
+			rndvMsgs:    m.Counter("mpi.rndv.msgs"),
+			msgBytes:    m.Histogram("mpi.msg.bytes"),
+			handshake:   m.Histogram("mpi.rndv.handshake.ns"),
+			handshakeHi: m.HiRes("mpi.rndv.handshake.ns"),
+			rndvStalls:  m.Counter("mpi.rndv.stalls"),
 		}
 	}
 	for i, node := range placement {

@@ -169,6 +169,7 @@ func (r *Rank) handleMsg(p *sim.Proc, m *mpiMsg) {
 		req.rndvPeer = m.recvReq
 		if obs := r.world.obs; obs != nil {
 			obs.handshake.Observe(int64(r.env().Now() - req.rtsAt))
+			obs.handshakeHi.Observe(int64(r.env().Now() - req.rtsAt))
 		}
 		peer := r.world.ranks[req.peer]
 		qp := r.qpTo(peer)
@@ -298,6 +299,7 @@ func (r *Rank) handleShmMsg(m *mpiMsg) {
 		delete(r.rndv, m.sendReq)
 		if obs := r.world.obs; obs != nil {
 			obs.handshake.Observe(int64(r.env().Now() - req.rtsAt))
+			obs.handshakeHi.Observe(int64(r.env().Now() - req.rtsAt))
 		}
 		env := r.env()
 		d := sim.Time(float64(req.size) * ShmPerByteNanos)

@@ -23,6 +23,14 @@ type Env struct {
 	tel      any                // opaque telemetry attachment (see SetTelemetry)
 	flt      any                // opaque fault-plan attachment (see SetFault)
 
+	// Periodic observation hook (see SetSampler). The sampler is NOT a heap
+	// event: it fires inside the dispatch loop between events, so sequence
+	// numbers, executed counts and therefore all simulated behavior are
+	// identical with sampling on or off.
+	sampleEvery Time
+	sampleNext  Time
+	sampleFn    func(at Time)
+
 	// Sharded parallel execution (see shard.go). All zero on the classic
 	// single-heap path: world stays nil and every check below is one nil
 	// test, so unpartitioned behavior is unchanged.
@@ -62,6 +70,40 @@ func (e *Env) SetFault(f any) { e.flt = f }
 
 // Fault returns the attachment installed by SetFault (nil if none).
 func (e *Env) Fault() any { return e.flt }
+
+// SetSampler installs a periodic observation hook: fn(S) is invoked at
+// S = every, 2*every, 3*every, ... of virtual time, with the guarantee that
+// every event scheduled at or before S has executed and no event after S
+// has — fn observes a consistent prefix of the simulation. The hook runs in
+// scheduler context between event dispatches (never as a heap event, so it
+// perturbs nothing) and must not schedule simulation work. Sample times
+// with no event activity around them still fire, in order, as soon as the
+// clock is known to have passed them; samples past a Stop are skipped (the
+// stopping event's shard peers may not have settled). On a partitioned
+// world the hook fires at window barriers, with window horizons clamped so
+// no shard runs past a pending sample time — the observable guarantee is
+// identical to the single-heap one. Installing with every <= 0 or a nil fn
+// removes the sampler.
+func (e *Env) SetSampler(every Time, fn func(at Time)) {
+	if every <= 0 || fn == nil {
+		e.sampleEvery, e.sampleNext, e.sampleFn = 0, 0, nil
+		return
+	}
+	e.sampleEvery = every
+	e.sampleNext = e.now + every
+	e.sampleFn = fn
+}
+
+// fireSamples invokes the sampler for every pending sample time <= through,
+// advancing the schedule. Callers guarantee all events at or before
+// `through` have been dispatched.
+func (e *Env) fireSamples(through Time) {
+	for e.sampleFn != nil && e.sampleNext <= through {
+		at := e.sampleNext
+		e.sampleNext += e.sampleEvery
+		e.sampleFn(at)
+	}
+}
 
 // push enqueues ent at absolute time ent.at (>= e.now), stamping the FIFO
 // tie-breaker sequence.
@@ -150,12 +192,26 @@ func (e *Env) RunUntil(horizon Time) Time {
 	}
 	e.stopped = false
 	for !e.queue.empty() && !e.stopped {
-		if e.queue.peek().at > horizon {
+		at := e.queue.peek().at
+		if at > horizon {
+			// Events at or before the horizon have all run; settle any
+			// samples up to it before parking the clock there.
+			e.fireSamples(horizon)
 			e.now = horizon
 			return e.now
 		}
+		if e.sampleFn != nil && e.sampleNext < at {
+			e.fireSamples(at - 1)
+		}
 		ent := e.queue.pop()
 		e.dispatch(&ent)
+	}
+	if !e.stopped {
+		// Heap drained: fire samples through the final clock. After a Stop
+		// the tail is deliberately unsampled — the stopping event decided
+		// the run is over, and (on a sharded world) peers may not have
+		// settled, so a post-Stop sample would not be a consistent prefix.
+		e.fireSamples(e.now)
 	}
 	return e.now
 }

@@ -338,8 +338,15 @@ func (e *Env) AtArgOn(target *Env, delay Time, fn func(any), arg any) {
 }
 
 // runWorld is RunUntil for a partitioned world: the windowed barrier loop.
+// Sampling state lives on shard 0 (the root view — the environment the
+// world was partitioned from, where SetSampler is installed): at each
+// barrier, every shard has settled and no event below the global next-event
+// time remains, so pending samples strictly below it are consistent
+// prefixes and fire here; window horizons are clamped to the next sample
+// time (see below) so no shard ever runs past a pending sample.
 func (e *Env) runWorld(horizon Time) Time {
 	w := e.world
+	root := w.shards[0]
 	w.stopped.Store(false)
 	var p *wpool
 	if w.workers > 1 && len(w.shards) > 1 {
@@ -362,6 +369,17 @@ func (e *Env) runWorld(horizon Time) Time {
 		if next == maxTime {
 			break
 		}
+		if root.sampleFn != nil && root.sampleNext < next {
+			// All events <= the pending sample time have executed (the
+			// previous window's horizon was clamped to it); events at the
+			// new global minimum have not. Fire everything below it, capped
+			// at the caller's horizon.
+			through := next - 1
+			if through > horizon {
+				through = horizon
+			}
+			root.fireSamples(through)
+		}
 		if next > horizon {
 			for _, s := range w.shards {
 				if s.now < horizon {
@@ -373,7 +391,15 @@ func (e *Env) runWorld(horizon Time) Time {
 		if w.nchan == 0 && len(w.shards) > 1 {
 			panic("sim: partitioned world has pending events but no registered lookahead")
 		}
-		w.planWindow(next, horizon)
+		windowHorizon := horizon
+		if root.sampleFn != nil && root.sampleNext < windowHorizon {
+			// Clamp the window so no shard executes past the next sample
+			// time (events at exactly that time still run — planWindow's
+			// cap is horizon+1). sampleNext >= next here, so the window
+			// still makes progress.
+			windowHorizon = root.sampleNext
+		}
+		w.planWindow(next, windowHorizon)
 		w.windows++
 		if p == nil {
 			for _, si := range w.active {
@@ -396,6 +422,11 @@ func (e *Env) runWorld(horizon Time) Time {
 		if s.now < maxNow {
 			s.now = maxNow
 		}
+	}
+	if !w.stopped.Load() {
+		// Drained: fire samples through the final clock, exactly like the
+		// classic loop. A Stop leaves the tail unsampled in both modes.
+		root.fireSamples(maxNow)
 	}
 	return maxNow
 }

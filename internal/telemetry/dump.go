@@ -64,6 +64,14 @@ func WriteMetricsText(w io.Writer, r *Registry) error {
 			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
+		case "hires":
+			// The log-linear histograms are percentile instruments: the
+			// quantile row is the payload, the (many) buckets stay in the
+			// JSON dump only.
+			if _, err := fmt.Fprintf(w, "%-9s %-*s count=%d sum=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f p999=%.0f\n",
+				s.Kind, width, s.Name, s.Count, s.Sum, s.Mean, s.P50, s.P90, s.P99, s.P999); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

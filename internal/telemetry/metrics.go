@@ -198,6 +198,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	hires    map[string]*HiResHistogram
 }
 
 // NewRegistry creates an empty metrics registry.
@@ -206,6 +207,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		hires:    make(map[string]*HiResHistogram),
 	}
 }
 
@@ -256,6 +258,80 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HiRes returns the high-resolution histogram registered under name,
+// creating it on first use. A hires histogram may share its name with a
+// coarse Histogram (the two are separate kinds); layers typically register
+// both and record into both at SLO-relevant sites.
+func (r *Registry) HiRes(name string) *HiResHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hires[name]
+	if !ok {
+		h = &HiResHistogram{}
+		r.hires[name] = h
+	}
+	return h
+}
+
+// MergeInto adds every counter, histogram and hires histogram of r into
+// dst, creating names that dst lacks. All contributions are commutative
+// (counter adds, bucket adds), so merging several registries into one in
+// any order yields the same totals — this is how per-point sampling
+// registries fold back into a run-wide registry without making the result
+// depend on point completion order. Gauges are last-write-wins and are
+// deliberately not merged. No-op when either registry is nil.
+func (r *Registry) MergeInto(dst *Registry) {
+	if r == nil || dst == nil || r == dst {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			dst.Counter(name).Add(v)
+		} else {
+			dst.Counter(name) // presence documents the armed site
+		}
+	}
+	for name, h := range r.hists {
+		dst.Histogram(name).merge(h)
+	}
+	for name, h := range r.hires {
+		dst.HiRes(name).merge(h)
+	}
+}
+
+// merge adds src's buckets and aggregates into h.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	if n := src.count.Load(); n != 0 {
+		h.count.Add(n)
+		h.sum.Add(src.sum.Load())
+		for v := src.min.Load(); ; {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		for v := src.max.Load(); ; {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
 // BucketCount is one populated histogram bucket in a snapshot.
 type BucketCount struct {
 	Lo    int64 `json:"lo"` // inclusive (MinInt64 for the <=0 bucket)
@@ -266,7 +342,7 @@ type BucketCount struct {
 // MetricSnapshot is one metric's state at snapshot time.
 type MetricSnapshot struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // counter, gauge, histogram
+	Kind string `json:"kind"` // counter, gauge, histogram, hires
 	// Counter/gauge value.
 	Value int64 `json:"value,omitempty"`
 	// Histogram aggregates.
@@ -276,6 +352,11 @@ type MetricSnapshot struct {
 	Max     int64         `json:"max,omitempty"`
 	Mean    float64       `json:"mean,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Hires quantile estimates (hires kind only).
+	P50  float64 `json:"p50,omitempty"`
+	P90  float64 `json:"p90,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+	P999 float64 `json:"p999,omitempty"`
 }
 
 // Snapshot returns every registered metric, sorted by (name, kind) so dumps
@@ -287,7 +368,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.hires))
 	for name, c := range r.counters {
 		out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: c.Value()})
 	}
@@ -302,6 +383,27 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		for i := 0; i < HistBuckets; i++ {
 			if n := h.Bucket(i); n > 0 {
 				snap.Buckets = append(snap.Buckets, BucketCount{Lo: BucketLo(i), Hi: BucketHi(i), Count: n})
+			}
+		}
+		out = append(out, snap)
+	}
+	var scratch [HiResBuckets]int64
+	for name, h := range r.hires {
+		count, sum := h.CopyBuckets(scratch[:])
+		snap := MetricSnapshot{
+			Name: name, Kind: "hires",
+			Count: count, Sum: sum,
+			P50:  QuantileFromBuckets(scratch[:], count, 0.50),
+			P90:  QuantileFromBuckets(scratch[:], count, 0.90),
+			P99:  QuantileFromBuckets(scratch[:], count, 0.99),
+			P999: QuantileFromBuckets(scratch[:], count, 0.999),
+		}
+		if count > 0 {
+			snap.Mean = float64(sum) / float64(count)
+		}
+		for i := 0; i < HiResBuckets; i++ {
+			if n := scratch[i]; n > 0 {
+				snap.Buckets = append(snap.Buckets, BucketCount{Lo: HiResBucketLo(i), Hi: HiResBucketHi(i), Count: n})
 			}
 		}
 		out = append(out, snap)

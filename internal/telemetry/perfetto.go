@@ -34,9 +34,21 @@ type traceEvent struct {
 	Args  *traceEventArgs `json:"args,omitempty"`
 }
 
+// counterEvent is a Chrome trace-event "C" counter sample. Counter tracks
+// are per-process (no tid); the args map's keys become sub-series of the
+// rendered graph, and encoding/json emits map keys sorted, so the output
+// stays deterministic.
+type counterEvent struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	TS    float64            `json:"ts"` // microseconds
+	PID   int                `json:"pid"`
+	Args  map[string]float64 `json:"args"`
+}
+
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
 }
 
 // micros converts sim time (ns) to trace-event microseconds.
@@ -47,6 +59,18 @@ func micros(ns int64) float64 { return float64(ns) / 1000.0 }
 // processes in first-registration order, spans are sorted by (start, id)
 // and instants by (time, record order).
 func WritePerfetto(w io.Writer, r *Recorder) error {
+	return WritePerfettoTimeline(w, r, nil)
+}
+
+// WritePerfettoTimeline is WritePerfetto plus sampled timelines rendered as
+// counter tracks: every series becomes a "C"-event graph in a dedicated
+// "timeline" process pinned above the span rows (process_sort_index -1).
+// Counter and derived series graph their per-interval value; hires series
+// graph p50/p99/p999 as stacked sub-series. Sample times are shifted by
+// each point's TraceOffset, so counters line up under that point's spans on
+// the recorder's stacked epoch timeline. With pts nil the output is exactly
+// WritePerfetto's.
+func WritePerfettoTimeline(w io.Writer, r *Recorder, pts []PointTimeline) error {
 	tracks := r.Tracks()
 	// Assign one pid per distinct process name, in first-appearance order,
 	// and one tid per track within its process.
@@ -80,11 +104,25 @@ func WritePerfetto(w io.Writer, r *Recorder) error {
 		return instants[i].Time < instants[j].Time
 	})
 
-	events := make([]traceEvent, 0, 2*len(tracks)+len(spans)+len(instants))
+	events := make([]any, 0, 2*len(tracks)+len(spans)+len(instants))
 	for i, proc := range procs {
 		events = append(events, traceEvent{
 			Name: "process_name", Phase: "M", PID: i + 1,
 			Args: &traceEventArgs{Name: proc},
+		})
+	}
+	tlPID := 0
+	if hasSamples(pts) {
+		// The timeline process hosts every counter track; sort_index -1
+		// pins it above the (default-sorted) span processes.
+		tlPID = len(procs) + 1
+		events = append(events, traceEvent{
+			Name: "process_name", Phase: "M", PID: tlPID,
+			Args: &traceEventArgs{Name: "timeline"},
+		})
+		events = append(events, traceEvent{
+			Name: "process_sort_index", Phase: "M", PID: tlPID,
+			Args: &traceEventArgs{SortIx: -1},
 		})
 	}
 	for i, tk := range tracks {
@@ -119,8 +157,40 @@ func WritePerfetto(w io.Writer, r *Recorder) error {
 		}
 		events = append(events, ev)
 	}
+	if tlPID != 0 {
+		for pi := range pts {
+			pt := &pts[pi]
+			off := int64(pt.TraceOffset)
+			for si := range pt.Series {
+				s := &pt.Series[si]
+				for _, smp := range s.Samples {
+					events = append(events, counterEvent{
+						Name: s.Name, Phase: "C", TS: micros(int64(smp.T) + off), PID: tlPID,
+						Args: map[string]float64{"value": float64(smp.V)},
+					})
+				}
+				for _, q := range s.Quantiles {
+					events = append(events, counterEvent{
+						Name: s.Name, Phase: "C", TS: micros(int64(q.T) + off), PID: tlPID,
+						Args: map[string]float64{"p50": q.P50, "p99": q.P99, "p999": q.P999},
+					})
+				}
+			}
+		}
+	}
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// hasSamples reports whether any point timeline carries at least one row —
+// an all-empty timeline set adds no counter process to the trace.
+func hasSamples(pts []PointTimeline) bool {
+	for i := range pts {
+		if pts[i].SampleCount() > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Sampler snapshots a Registry's deltas at a fixed sim-time cadence into
+// append-only per-metric series. It is driven by the simulation kernel's
+// sampling hook (sim.Env.SetSampler), which guarantees the sample at time S
+// reflects exactly the events scheduled at or before S — on the classic
+// single-heap scheduler by firing between event dispatches, on the sharded
+// scheduler by clamping window horizons to the next sample time and firing
+// at the barrier. Because the hook never schedules heap events, sampling
+// perturbs nothing: event sequence numbers, executed counts and rendered
+// output are identical with sampling on or off.
+//
+// Counters are recorded as per-interval deltas (rates fall out at export
+// time); hires histograms as per-interval quantile rows computed from
+// bucket deltas against the previous tick. Gauges are not sampled — they
+// are last-write-wins and the registry no longer carries any on the
+// deterministic paths. Zero-delta intervals are kept, so every series has
+// one row per tick and timelines from different runs align by construction.
+type Sampler struct {
+	reg   *Registry
+	every sim.Time
+
+	counters []*samplerCounter
+	hires    []*samplerHiRes
+	byName   map[string]int // index into counters/hires by kind-prefixed name
+}
+
+type samplerCounter struct {
+	name    string
+	c       *Counter
+	prev    int64
+	samples []Sample
+}
+
+type samplerHiRes struct {
+	name    string
+	h       *HiResHistogram
+	prev    []int64 // previous tick's cumulative buckets
+	cur     []int64 // scratch: this tick's cumulative buckets
+	prevCnt int64
+	prevSum int64
+	samples []QuantileSample
+}
+
+// NewSampler creates a sampler over reg ticking every `every` of sim time.
+func NewSampler(reg *Registry, every sim.Time) *Sampler {
+	return &Sampler{reg: reg, every: every, byName: make(map[string]int)}
+}
+
+// Every returns the sampling interval.
+func (s *Sampler) Every() sim.Time { return s.every }
+
+// refresh syncs the sampler's metric lists with the registry, picking up
+// metrics registered since the last tick. New metrics start sampling from
+// the tick they appear on (their earlier intervals have no rows); since
+// metric registration is part of deterministic simulation setup, the
+// resulting series shapes are still identical across worker counts.
+func (s *Sampler) refresh() {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if len(s.counters) == len(s.reg.counters) && len(s.hires) == len(s.reg.hires) {
+		return
+	}
+	for name, c := range s.reg.counters {
+		if _, ok := s.byName["c:"+name]; !ok {
+			s.byName["c:"+name] = len(s.counters)
+			s.counters = append(s.counters, &samplerCounter{name: name, c: c})
+		}
+	}
+	for name, h := range s.reg.hires {
+		if _, ok := s.byName["h:"+name]; !ok {
+			s.byName["h:"+name] = len(s.hires)
+			s.hires = append(s.hires, &samplerHiRes{
+				name: name, h: h,
+				prev: make([]int64, HiResBuckets),
+				cur:  make([]int64, HiResBuckets),
+			})
+		}
+	}
+	sort.Slice(s.counters, func(i, j int) bool { return s.counters[i].name < s.counters[j].name })
+	sort.Slice(s.hires, func(i, j int) bool { return s.hires[i].name < s.hires[j].name })
+	for i, c := range s.counters {
+		s.byName["c:"+c.name] = i
+	}
+	for i, h := range s.hires {
+		s.byName["h:"+h.name] = i
+	}
+}
+
+// Tick takes one sample at sim time at. It is called from the scheduler's
+// sampling hook — between event dispatches, with all registry writers
+// settled — so plain reads of the atomic handles see a consistent prefix of
+// the run.
+func (s *Sampler) Tick(at sim.Time) {
+	s.refresh()
+	for _, c := range s.counters {
+		v := c.c.Value()
+		c.samples = append(c.samples, Sample{T: at, V: v - c.prev})
+		c.prev = v
+	}
+	for _, h := range s.hires {
+		count, sum := h.h.CopyBuckets(h.cur)
+		dc, ds := count-h.prevCnt, sum-h.prevSum
+		for i := range h.cur {
+			h.cur[i] -= h.prev[i]
+		}
+		h.samples = append(h.samples, QuantileSample{
+			T: at, Count: dc, Sum: ds,
+			P50:  QuantileFromBuckets(h.cur, dc, 0.50),
+			P90:  QuantileFromBuckets(h.cur, dc, 0.90),
+			P99:  QuantileFromBuckets(h.cur, dc, 0.99),
+			P999: QuantileFromBuckets(h.cur, dc, 0.999),
+		})
+		for i := range h.cur {
+			h.prev[i] += h.cur[i]
+		}
+		h.prevCnt, h.prevSum = count, sum
+	}
+}
+
+// Series returns the accumulated series, sorted by (name, kind). The
+// returned slices share the sampler's backing arrays; take them after the
+// run, not between ticks.
+func (s *Sampler) Series() []Series {
+	out := make([]Series, 0, len(s.counters)+len(s.hires))
+	for _, c := range s.counters {
+		out = append(out, Series{Name: c.name, Kind: KindCounter, Samples: c.samples})
+	}
+	for _, h := range s.hires {
+		out = append(out, Series{Name: h.name, Kind: KindHiRes, Quantiles: h.samples})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

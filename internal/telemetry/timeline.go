@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Timelines: the deterministic time-series store filled by Samplers, one
+// PointTimeline per measurement point, and its exporters — a versioned
+// JSON/CSV schema ("ibwan-timeline/v1") and Perfetto counter tracks (see
+// perfetto.go). A timeline is a pure function of the simulation, so its
+// serialized bytes are identical at any -par / -shards combination
+// (regression-enforced in internal/core).
+
+// TimelineSchema is the versioned identifier of the JSON timeline dump.
+const TimelineSchema = "ibwan-timeline/v1"
+
+// Series kinds.
+const (
+	KindCounter = "counter" // Samples: per-interval counter deltas
+	KindHiRes   = "hires"   // Quantiles: per-interval quantile rows
+	KindDerived = "derived" // Samples: values computed at export time
+)
+
+// Sample is one counter or derived-series row: the per-interval delta (or
+// derived value) at sim time T.
+type Sample struct {
+	T sim.Time
+	V int64
+}
+
+// QuantileSample is one hires-histogram row: per-interval observation count
+// and sum plus interpolated quantile estimates at sim time T.
+type QuantileSample struct {
+	T     sim.Time
+	Count int64
+	Sum   int64
+	P50   float64
+	P90   float64
+	P99   float64
+	P999  float64
+}
+
+// Series is one named metric's timeline within a point.
+type Series struct {
+	Name      string
+	Kind      string
+	Samples   []Sample         // counter / derived kinds
+	Quantiles []QuantileSample // hires kind
+}
+
+// PointTimeline is the sampled timeline of one measurement point. A point
+// that builds several environments (warmup + measured run) stacks their
+// series end to end, each environment's samples shifted by the virtual time
+// its predecessors consumed — mirroring how the span recorder stacks point
+// epochs.
+type PointTimeline struct {
+	Experiment string
+	Point      string
+	Every      sim.Time
+	// TraceOffset is the span recorder's epoch offset at the moment the
+	// point started (0 without span recording); the Perfetto exporter adds
+	// it so counter tracks line up under the point's spans.
+	TraceOffset sim.Time
+	Series      []Series
+}
+
+// Absorb merges src series into the timeline, shifting every sample time by
+// offset. Series with the same (name, kind) append — offsets are monotonic
+// across a point's environments, so times stay nondecreasing.
+func (pt *PointTimeline) Absorb(src []Series, offset sim.Time) {
+	for _, s := range src {
+		dst := pt.series(s.Name, s.Kind)
+		for _, smp := range s.Samples {
+			smp.T += offset
+			dst.Samples = append(dst.Samples, smp)
+		}
+		for _, q := range s.Quantiles {
+			q.T += offset
+			dst.Quantiles = append(dst.Quantiles, q)
+		}
+	}
+}
+
+// series finds or appends the (name, kind) series.
+func (pt *PointTimeline) series(name, kind string) *Series {
+	for i := range pt.Series {
+		if pt.Series[i].Name == name && pt.Series[i].Kind == kind {
+			return &pt.Series[i]
+		}
+	}
+	pt.Series = append(pt.Series, Series{Name: name, Kind: kind})
+	return &pt.Series[len(pt.Series)-1]
+}
+
+// Finish derives export-time series and sorts the set by (name, kind). The
+// one derived series today is WAN link utilization: the deterministic
+// wan.link.busy.ns counter (cumulative serialization time across WAN ports)
+// divided by the sampling interval, in permille. On topologies with several
+// WAN links the value aggregates all ports and can exceed 1000.
+func (pt *PointTimeline) Finish() {
+	if pt.Every > 0 {
+		for i := range pt.Series {
+			s := &pt.Series[i]
+			if s.Name != "wan.link.busy.ns" || s.Kind != KindCounter {
+				continue
+			}
+			d := Series{Name: "wan.link.utilization.permille", Kind: KindDerived}
+			d.Samples = make([]Sample, len(s.Samples))
+			for j, smp := range s.Samples {
+				d.Samples[j] = Sample{T: smp.T, V: smp.V * 1000 / int64(pt.Every)}
+			}
+			pt.Series = append(pt.Series, d)
+			break
+		}
+	}
+	sort.Slice(pt.Series, func(i, j int) bool {
+		if pt.Series[i].Name != pt.Series[j].Name {
+			return pt.Series[i].Name < pt.Series[j].Name
+		}
+		return pt.Series[i].Kind < pt.Series[j].Kind
+	})
+}
+
+// SampleCount returns the total number of rows across the point's series.
+func (pt *PointTimeline) SampleCount() int {
+	n := 0
+	for i := range pt.Series {
+		n += len(pt.Series[i].Samples) + len(pt.Series[i].Quantiles)
+	}
+	return n
+}
+
+// JSON schema types. Counter/derived rows and hires rows have different
+// shapes, so series carry their rows as the appropriate concrete struct —
+// struct field order keeps the encoding deterministic.
+
+type timelineJSON struct {
+	Schema        string              `json:"schema"`
+	SampleEveryNS int64               `json:"sample_every_ns"`
+	Points        []pointTimelineJSON `json:"points"`
+}
+
+type pointTimelineJSON struct {
+	Experiment string       `json:"experiment"`
+	Point      string       `json:"point"`
+	Series     []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Samples []any  `json:"samples"`
+}
+
+type counterSampleJSON struct {
+	TNS      int64   `json:"t_ns"`
+	Delta    int64   `json:"delta"`
+	RatePerS float64 `json:"rate_per_s"`
+}
+
+type quantileSampleJSON struct {
+	TNS   int64   `json:"t_ns"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// WriteTimelineJSON dumps the point timelines as "ibwan-timeline/v1" JSON.
+// Counter and derived rows carry {t_ns, delta, rate_per_s}; hires rows
+// {t_ns, count, sum, p50, p90, p99, p999}.
+func WriteTimelineJSON(w io.Writer, every sim.Time, pts []PointTimeline) error {
+	rep := timelineJSON{Schema: TimelineSchema, SampleEveryNS: int64(every), Points: make([]pointTimelineJSON, 0, len(pts))}
+	for i := range pts {
+		pt := &pts[i]
+		jp := pointTimelineJSON{Experiment: pt.Experiment, Point: pt.Point, Series: make([]seriesJSON, 0, len(pt.Series))}
+		ev := pt.Every
+		if ev <= 0 {
+			ev = every
+		}
+		for j := range pt.Series {
+			s := &pt.Series[j]
+			js := seriesJSON{Name: s.Name, Kind: s.Kind, Samples: make([]any, 0, len(s.Samples)+len(s.Quantiles))}
+			for _, smp := range s.Samples {
+				row := counterSampleJSON{TNS: int64(smp.T), Delta: smp.V}
+				if ev > 0 {
+					row.RatePerS = float64(smp.V) / ev.Seconds()
+				}
+				js.Samples = append(js.Samples, row)
+			}
+			for _, q := range s.Quantiles {
+				js.Samples = append(js.Samples, quantileSampleJSON{
+					TNS: int64(q.T), Count: q.Count, Sum: q.Sum,
+					P50: q.P50, P90: q.P90, P99: q.P99, P999: q.P999,
+				})
+			}
+			jp.Series = append(jp.Series, js)
+		}
+		rep.Points = append(rep.Points, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteTimelineCSV dumps the point timelines as one flat CSV: one row per
+// sample, kind-specific columns left empty where they do not apply.
+func WriteTimelineCSV(w io.Writer, every sim.Time, pts []PointTimeline) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "point", "series", "kind", "t_ns",
+		"value", "rate_per_s", "count", "sum", "p50", "p90", "p99", "p999",
+	}); err != nil {
+		return err
+	}
+	ffloat := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fint := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for i := range pts {
+		pt := &pts[i]
+		ev := pt.Every
+		if ev <= 0 {
+			ev = every
+		}
+		for j := range pt.Series {
+			s := &pt.Series[j]
+			for _, smp := range s.Samples {
+				rate := ""
+				if ev > 0 {
+					rate = ffloat(float64(smp.V) / ev.Seconds())
+				}
+				if err := cw.Write([]string{
+					pt.Experiment, pt.Point, s.Name, s.Kind, fint(int64(smp.T)),
+					fint(smp.V), rate, "", "", "", "", "", "",
+				}); err != nil {
+					return err
+				}
+			}
+			for _, q := range s.Quantiles {
+				if err := cw.Write([]string{
+					pt.Experiment, pt.Point, s.Name, s.Kind, fint(int64(q.T)),
+					"", "", fint(q.Count), fint(q.Sum),
+					ffloat(q.P50), ffloat(q.P90), ffloat(q.P99), ffloat(q.P999),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
