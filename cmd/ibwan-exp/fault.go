@@ -11,8 +11,13 @@ import (
 )
 
 // parseFaultSpec turns the -fault flag into a run-wide chaos plan. The
-// grammar is a comma-separated list of levers:
+// grammar is an optional link restriction followed by a comma-separated
+// list of levers:
 //
+//	link=NAME:               restrict the WAN levers to the named link on
+//	                         multi-link topologies, NAME in siteA-siteB
+//	                         form (e.g. link=r1-r2:wan-down); the default
+//	                         arms every WAN link
 //	wan-down                 take the WAN link down permanently
 //	wan-loss=P               per-packet WAN loss probability (0..1)
 //	wan-corrupt=P            per-packet WAN corruption probability (0..1)
@@ -24,6 +29,14 @@ import (
 // Example: -fault wan-loss=0.01,seed=7
 func parseFaultSpec(spec string) (*fault.Plan, error) {
 	p := &fault.Plan{Seed: 1}
+	if rest, ok := strings.CutPrefix(spec, "link="); ok {
+		name, body, ok := strings.Cut(rest, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("link= wants link=NAME:levers (e.g. link=r1-r2:wan-down)")
+		}
+		p.Link = name
+		spec = body
+	}
 	for _, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {

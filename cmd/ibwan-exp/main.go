@@ -108,7 +108,7 @@ func main() {
 	spanDepth := flag.Int("span-depth", 0, "suppress trace spans nested deeper than this (0 = unlimited; applies to -trace-out)")
 	sampleEvery := flag.Duration("sample-every", 0, "sample telemetry timelines at this interval of virtual time (e.g. 1ms; output is identical at any -par/-shards)")
 	timelineOut := flag.String("timeline-out", "", "write sampled timelines to this file ('-' = stdout, suppresses tables; a .csv suffix selects CSV, otherwise JSON); requires -sample-every")
-	faultSpec := flag.String("fault", "", "run-wide chaos plan, e.g. 'wan-loss=0.01,seed=7' or 'wan-down' or 'wan-flap=5ms:20ms' (failed points render as ERR)")
+	faultSpec := flag.String("fault", "", "run-wide chaos plan, e.g. 'wan-loss=0.01,seed=7' or 'wan-down' or 'wan-flap=5ms:20ms'; prefix 'link=NAME:' targets one link of a multi-link topology (e.g. 'link=r1-r2:wan-down'); failed points render as ERR")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ibwan-exp [flags] <experiment>...\nexperiments: %s all\nflags:\n",
 			strings.Join(core.ExperimentIDs, " "))

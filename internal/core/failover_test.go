@@ -1,0 +1,55 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailoverDeterminismMatrix pins the failover family's byte-identity
+// across the execution matrix: ring4 x failover-kill (a mid-run link kill
+// with the self-healing layer armed) must render identically sequential,
+// point-parallel, sharded, and both combined — and the base run must be
+// all measurements, no ERR rows. The kill is a scheduled flap (a pure
+// function of simulated time), so the sharded scheduler's swap-on-epoch
+// re-sweep has to reproduce the classic path exactly.
+func TestFailoverDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover determinism matrix skipped in -short mode")
+	}
+	opt := Options{Quick: true, Topo: "ring4"}
+	base := renderTables(RunWith("failover-kill", opt, RunnerOptions{Workers: 1}))
+	if strings.Contains(base, "ERR") {
+		t.Fatalf("failover-kill on ring4 must land every measurement, got ERR rows:\n%s", base)
+	}
+	for _, ropt := range []RunnerOptions{
+		{Workers: 1, ShardWorkers: 4},
+		{Workers: 8},
+		{Workers: 2, ShardWorkers: 2},
+	} {
+		got := renderTables(RunWith("failover-kill", opt, ropt))
+		if got != base {
+			t.Fatalf("output diverges at workers=%d shards=%d\n--- sequential ---\n%s\n--- got ---\n%s",
+				ropt.Workers, ropt.ShardWorkers, base, got)
+		}
+	}
+}
+
+// TestFailoverPartitionTerminates is the graceful-degradation contract: on
+// a star topology every satellite's only path runs through the hub, so
+// killing a link leaves no alternate route. The run must still terminate
+// — the affected points degrade to explicit ERR rows (bounded retries,
+// then StatusRetryExceeded) instead of hanging, and the unaffected
+// points still measure.
+func TestFailoverPartitionTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover partition test skipped in -short mode")
+	}
+	opt := Options{Quick: true, Topo: "star3"}
+	out := renderTables(RunWith("failover-kill", opt, RunnerOptions{Workers: 1}))
+	if !strings.Contains(out, "ERR") {
+		t.Fatalf("star3 has no redundant paths; killing a link must degrade to ERR rows, got:\n%s", out)
+	}
+	if !strings.Contains(out, "no-fault") {
+		t.Fatalf("missing no-fault baseline series:\n%s", out)
+	}
+}

@@ -262,6 +262,12 @@ var registry = []Spec{
 	{"multisite-allreduce", "flat vs hierarchical allreduce latency on an N-site topology", multisiteAllreduce},
 	{"multisite-nfs", "NFS/RDMA read throughput from each satellite site to a central server", multisiteNFS},
 	{"multisite-loss", "RC goodput across an N-site topology with one WAN link killed per series", multisiteLoss},
+	// The failover-* family arms the fabric's self-healing routing layer
+	// and kills links mid-run: on redundant presets every point reroutes
+	// and lands a measurement instead of an ERR row (see failover.go).
+	{"failover-kill", "RC goodput/latency with one WAN link killed mid-run and failover on", failoverKill},
+	{"failover-debounce", "failover convergence time vs health-monitor debounce window", failoverDebounce},
+	{"failover-services", "MPI/NFS/TCP surviving a mid-run link kill with failover on", failoverServices},
 }
 
 // ExperimentIDs lists the registered experiment identifiers, in the

@@ -29,6 +29,13 @@ type Plan struct {
 	// runner parallelism.
 	Seed uint64
 
+	// Link restricts a run-wide plan's WAN levers to the named link on
+	// multi-link topologies, in "siteA-siteB" form (either order; the CLI's
+	// `-fault link=NAME:...` prefix sets it). Empty arms every WAN link,
+	// the historical behavior. Per-link plans (topo.Link.Fault) already
+	// target one link and ignore this field.
+	Link string
+
 	// WANDown takes the WAN link down permanently from the start.
 	WANDown bool
 	// WANLoss is an independent per-packet (Bernoulli) loss probability
@@ -135,6 +142,35 @@ func (p *Plan) wanEnabled() bool {
 
 // Enabled reports whether the plan arms any fault at all.
 func (p *Plan) Enabled() bool { return p.wanEnabled() || p.TCPLoss > 0 }
+
+// MatchesLink reports whether the plan's WAN levers apply to the link
+// between endpoints a and b. A plan with no Link restriction matches every
+// link; a nil plan matches none.
+func (p *Plan) MatchesLink(a, b string) bool {
+	if p == nil {
+		return false
+	}
+	return p.Link == "" || p.Link == a+"-"+b || p.Link == b+"-"+a
+}
+
+// DownEdges exports the plan's scheduled WAN outage timeline as raw
+// health transitions for the fabric's link-health monitor
+// (ib.Fabric.MonitorLink): a permanent WANDown is an edge at time zero,
+// and each flap step contributes its edge. Levers that draw randomness
+// (loss, burst, corruption) have no schedule and are detected reactively.
+func (p *Plan) DownEdges() []ib.HealthTransition {
+	if p == nil {
+		return nil
+	}
+	var out []ib.HealthTransition
+	if p.WANDown {
+		out = append(out, ib.HealthTransition{At: 0, Down: true})
+	}
+	for _, s := range p.WANFlaps {
+		out = append(out, ib.HealthTransition{At: s.At, Down: s.Down})
+	}
+	return out
+}
 
 // ShardSafe reports whether the plan may be armed on a partitioned
 // (sharded) world. Only the WANDown and WANFlaps levers qualify: both are

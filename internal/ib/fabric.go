@@ -21,6 +21,9 @@ type Device interface {
 	// routeTo returns the egress port toward the destination LID.
 	routeTo(dst LID) *Port
 	setRoute(dst LID, p *Port)
+	// resetRoutes clears the routing table ahead of a re-sweep, so entries
+	// toward now-unreachable destinations do not survive a routing epoch.
+	resetRoutes()
 	fabric() *Fabric
 	// environment returns the device's home environment: the shard view it
 	// was created under (see Fabric.UseEnv), or the fabric environment on
@@ -49,6 +52,13 @@ type Fabric struct {
 	nextMRID atomic.Int64
 	routed   bool
 	tracer   Tracer
+	// health is non-nil once MonitorLink has registered a WAN link with the
+	// self-healing layer (see health.go); routeEpoch counts re-sweeps and
+	// unreachable counts packets dropped for lack of a route. Both are
+	// atomics: on sharded fabrics they are bumped from shard events.
+	health      *healthState
+	routeEpoch  atomic.Int64
+	unreachable atomic.Int64
 	// obs is non-nil only when a telemetry session is attached to the
 	// environment; every instrumented hot-path site is gated on this one
 	// pointer, keeping the disabled path allocation-free.
@@ -215,7 +225,19 @@ func (f *Fabric) Connect(a, b Device, rate Rate, prop sim.Time) *Link {
 // every device toward every LID. It must be called after topology changes
 // and before traffic flows; CreateRC/CreateUD call it implicitly.
 func (f *Fabric) Finalize() {
-	for _, src := range f.devices {
+	f.resweep(f.devices, nil)
+	f.routed = true
+}
+
+// resweep recomputes the routing tables of devs from scratch. A non-nil
+// excluded predicate removes links from consideration (the health monitor
+// excludes dead links, making each call a new routing epoch). The sweep
+// reads only the immutable port/link graph and writes only the tables of
+// the devices it was given, so on a sharded fabric each shard re-sweeps
+// its own devices concurrently without synchronization.
+func (f *Fabric) resweep(devs []Device, excluded func(*Link) bool) {
+	for _, src := range devs {
+		src.resetRoutes()
 		// BFS from src over the device graph recording first hop.
 		type hop struct {
 			dev   Device
@@ -224,7 +246,7 @@ func (f *Fabric) Finalize() {
 		visited := map[Device]bool{src: true}
 		var frontier []hop
 		for _, p := range src.ports() {
-			if p.peer == nil {
+			if p.peer == nil || (excluded != nil && excluded(p.link)) {
 				continue
 			}
 			nb := p.peer.dev
@@ -238,7 +260,7 @@ func (f *Fabric) Finalize() {
 			var next []hop
 			for _, h := range frontier {
 				for _, p := range h.dev.ports() {
-					if p.peer == nil {
+					if p.peer == nil || (excluded != nil && excluded(p.link)) {
 						continue
 					}
 					nb := p.peer.dev
@@ -252,7 +274,6 @@ func (f *Fabric) Finalize() {
 			frontier = next
 		}
 	}
-	f.routed = true
 }
 
 func (f *Fabric) ensureRouted() {
@@ -423,13 +444,18 @@ func (s *Switch) attach(p *Port)          { s.plist = append(s.plist, p) }
 func (s *Switch) setLID(l LID)            { s.lid = l }
 func (s *Switch) routeTo(dst LID) *Port   { return s.routes[dst] }
 func (s *Switch) setRoute(d LID, p *Port) { s.routes[d] = p }
+func (s *Switch) resetRoutes()            { s.routes = make(map[LID]*Port, len(s.routes)) }
 func (s *Switch) fabric() *Fabric         { return s.fab }
 func (s *Switch) environment() *sim.Env   { return s.env }
 
 func (s *Switch) receive(pkt *packet, on *Port) {
 	out := s.routes[pkt.dst]
 	if out == nil {
-		panic(fmt.Sprintf("ib: switch %s has no route to LID %d", s.name, pkt.dst))
+		// No route in the current epoch: a failover transition window or a
+		// true partition. Count the drop and error the owning QP instead of
+		// crashing the process (see Fabric.dropUnreachable).
+		s.fab.dropUnreachable(s, pkt)
+		return
 	}
 	s.env.AtArg(s.fwd, out.sendArg, pkt)
 }

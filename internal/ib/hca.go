@@ -53,6 +53,10 @@ func (h *HCA) attach(p *Port) {
 func (h *HCA) setLID(l LID)            { h.lid = l }
 func (h *HCA) routeTo(dst LID) *Port   { return h.route }
 func (h *HCA) setRoute(d LID, p *Port) { h.route = p }
+
+// resetRoutes is a no-op: an HCA has a single port, so its only possible
+// route survives every epoch (path choice happens at the switches).
+func (h *HCA) resetRoutes() {}
 func (h *HCA) fabric() *Fabric         { return h.fab }
 func (h *HCA) environment() *sim.Env   { return h.env }
 

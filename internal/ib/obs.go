@@ -28,6 +28,12 @@ type fabObs struct {
 	udRecvDrops    *telemetry.Counter
 	linkDrops      *telemetry.Counter
 
+	// Self-healing routing layer (health.go).
+	routeEpochs       *telemetry.Counter        // subnet re-sweeps after Finalize
+	routeUnreachable  *telemetry.Counter        // packets dropped for lack of a route
+	healthTransitions *telemetry.Counter        // debounced link verdict flips
+	failoverNs        *telemetry.HiResHistogram // raw edge -> verdict latency, ns
+
 	// Track caches: devices and ports are few and long-lived, so per-event
 	// track resolution is a map hit.
 	verbsTracks map[*HCA]telemetry.TrackID
@@ -60,6 +66,11 @@ func newFabObs(tel *telemetry.Telemetry) *fabObs {
 		qpErrors:       m.Counter("ib.qp.errors"),
 		udRecvDrops:    m.Counter("ib.ud.recv.drops"),
 		linkDrops:      m.Counter("ib.link.drops"),
+
+		routeEpochs:       m.Counter("ib.route.epochs"),
+		routeUnreachable:  m.Counter("ib.route.unreachable.drops"),
+		healthTransitions: m.Counter("wan.link.health.transitions"),
+		failoverNs:        m.HiRes("ib.route.failover.ns"),
 	}
 	if o.rec != nil {
 		o.verbsTracks = make(map[*HCA]telemetry.TrackID)

@@ -46,6 +46,12 @@ type transfer struct {
 	qpSeq   int64
 	acked   bool
 	retried int
+	// epoch is the fabric routing epoch the latest transmission attempt
+	// launched under. Reactive health detection only attributes a retry
+	// timeout to the links of the current route when the attempt actually
+	// ran on it — a timeout of an attempt that predates a re-sweep says
+	// nothing about the replacement path (see healthState.noteTimeout).
+	epoch int64
 	// inbound reassembly progress (responder side)
 	got       int
 	delivered bool
@@ -90,6 +96,7 @@ func (t *transfer) reset() {
 	t.qpSeq = 0
 	t.acked = false
 	t.retried = 0
+	t.epoch = 0
 	t.got = 0
 	t.delivered = false
 	t.readData = nil

@@ -92,6 +92,12 @@ func (q *QP) launch(t *transfer) {
 // launchBody transmits all packets of a transfer (the SendOverhead stage).
 func (q *QP) launchBody(t *transfer) {
 	fab := q.hca.fab
+	if fab.health != nil {
+		// Stamp the attempt with the routing epoch it launches under, so a
+		// later retry timeout is only attributed to the links of a route
+		// the attempt actually took (see healthState.noteTimeout).
+		t.epoch = fab.routeEpoch.Load()
+	}
 	port := q.hca.routeTo(q.remote.hca.lid)
 	if t.wr.Op == OpRDMARead {
 		q.stats.ReadRequests++
@@ -174,6 +180,13 @@ func (q *QP) armRetry(t *transfer) {
 			obs.rcRetransmits.Add(1)
 		}
 		q.traceRTO(t)
+		// Feed reactive link-health detection before relaunching: if this
+		// timeout pushes a monitored link on the path over its threshold,
+		// the re-sweep below runs synchronously and the retransmission
+		// resolves its route over the fresh tables.
+		if h := q.hca.fab.health; h != nil {
+			h.noteTimeout(q, t)
+		}
 		q.launch(t)
 	})
 }
@@ -211,6 +224,24 @@ func (q *QP) retryExhausted(t *transfer) {
 	for q.sendQ.Len() > 0 {
 		q.flushTransfer(q.sendQ.Pop())
 	}
+}
+
+// routeUnreachable errors the QP whose transfer hit a switch with no route
+// in the current epoch (see Fabric.dropUnreachable). It reuses the
+// retryExhausted transition, so the completion stream — StatusRetryExceeded
+// for the doomed transfer, StatusFlushed for the rest in posting order — is
+// identical whether a transfer dies by budget exhaustion or by explicit
+// unreachability, and the rendered output of classic and sharded runs
+// (where a cross-shard drop falls back to budget exhaustion) can only
+// differ in timing the harness never prints.
+func (q *QP) routeUnreachable(t *transfer) {
+	if q.errored || q.cfg.Transport != RC {
+		return
+	}
+	if _, still := q.inflight[t.id]; !still {
+		return
+	}
+	q.retryExhausted(t)
 }
 
 // flushTransfer error-completes one work request of an errored QP.
@@ -404,6 +435,9 @@ func (q *QP) rcAck(pkt *packet) {
 	}
 	t.acked = true
 	delete(q.inflight, t.id)
+	if h := q.hca.fab.health; h != nil {
+		h.noteSuccess(q)
+	}
 	q.endVerbsSpan(t)
 	q.cq.post(Completion{Op: t.wr.Op, Status: StatusOK, Bytes: t.size, Ctx: t.wr.Ctx, QPN: q.qpn})
 	t.senderDone.Store(true)

@@ -26,11 +26,17 @@ func SendLatency(env *sim.Env, a, b *ib.HCA, tr ib.Transport, size, iters int) s
 // PingRC is SendLatency over RC with an explicit QP configuration — the
 // knob the fault-injected experiments use to trade the retry budget
 // (QPConfig.RetryLimit, RetryTimeout) against loss rate.
+//
+// Each side's driver process is spawned on its own HCA's environment: on a
+// classic (unsharded) world both resolve to env and nothing changes, while
+// on a sharded multi-site world each process lives on its endpoint's shard
+// and only ever waits on that shard's CQ. The ping-pong needs no other
+// synchronization — every wire crossing is the fabric's own.
 func PingRC(env *sim.Env, a, b *ib.HCA, size, iters int, qcfg ib.QPConfig) sim.Time {
 	qa, qb := ib.CreateRCPair(a, b, nil, nil, qcfg)
 	var total sim.Time
 	completed := false
-	env.Go("lat-b", func(p *sim.Proc) {
+	b.Env().Go("lat-b", func(p *sim.Proc) {
 		for i := 0; i < iters; i++ {
 			qb.PostRecv(ib.RecvWR{})
 			waitFor(p, qb.CQ(), ib.OpRecv)
@@ -38,7 +44,7 @@ func PingRC(env *sim.Env, a, b *ib.HCA, size, iters int, qcfg ib.QPConfig) sim.T
 			waitFor(p, qb.CQ(), ib.OpSend)
 		}
 	})
-	env.Go("lat-a", func(p *sim.Proc) {
+	a.Env().Go("lat-a", func(p *sim.Proc) {
 		start := p.Now()
 		for i := 0; i < iters; i++ {
 			qa.PostRecv(ib.RecvWR{})
@@ -171,36 +177,64 @@ func BandwidthRC(env *sim.Env, a, b *ib.HCA, size, count, window int) float64 {
 // fault-injected experiments pass a generous RetryLimit with a short
 // RetryTimeout so packet loss costs time instead of killing the
 // connection.
+//
+// The measured window runs from the sender's start to whichever endpoint
+// finishes later: the receiver's last in-order delivery or the sender's
+// last send completion (the returning ack). On a classic world the receiver
+// hands its finish instant to the sender through a zero-latency done event
+// and the sender's clock after the wait is exactly that maximum, as before.
+// On a sharded world (the endpoints live on different shard environments) a
+// zero-latency cross-shard event would violate conservative synchronization,
+// so each side records its own timestamp and the maximum is taken after Run
+// returns — RC acks ride the in-order delivery stream, so the sender's
+// final completion strictly follows the receiver's last delivery and
+// stopping the run there seals both timestamps. The two paths compute the
+// same value from the same instants.
 func StreamRC(env *sim.Env, a, b *ib.HCA, size, count int, qcfg ib.QPConfig) float64 {
 	qa, qb := ib.CreateRCPair(a, b, nil, nil, qcfg)
-	var elapsed sim.Time
-	completed := false
-	done := env.NewEvent()
-	env.Go("bw-recv", func(p *sim.Proc) {
+	var start, senderEnd, recvEnd sim.Time
+	sent, received := false, false
+	classic := a.Env() == b.Env()
+	var done *sim.Event
+	if classic {
+		done = env.NewEvent()
+	}
+	b.Env().Go("bw-recv", func(p *sim.Proc) {
 		for i := 0; i < count; i++ {
 			qb.PostRecv(ib.RecvWR{})
 		}
 		for i := 0; i < count; i++ {
 			waitFor(p, qb.CQ(), ib.OpRecv)
 		}
-		done.Trigger(nil)
+		recvEnd = p.Now()
+		received = true
+		if classic {
+			done.Trigger(nil)
+		}
 	})
-	env.Go("bw-send", func(p *sim.Proc) {
-		start := p.Now()
+	a.Env().Go("bw-send", func(p *sim.Proc) {
+		start = p.Now()
 		for i := 0; i < count; i++ {
 			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: size})
 		}
 		for i := 0; i < count; i++ {
 			waitFor(p, qa.CQ(), ib.OpSend)
 		}
-		p.Wait(done)
-		elapsed = p.Now() - start
-		completed = true
+		if classic {
+			p.Wait(done)
+		}
+		senderEnd = p.Now()
+		sent = true
 		env.Stop()
 	})
 	env.Run()
 	env.Shutdown()
-	checkCompleted(completed, "StreamRC")
+	checkCompleted(sent && received, "StreamRC")
+	end := senderEnd
+	if recvEnd > end {
+		end = recvEnd
+	}
+	elapsed := end - start
 	return float64(size) * float64(count) / elapsed.Seconds() / 1e6
 }
 

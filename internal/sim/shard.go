@@ -50,6 +50,15 @@ import (
 // sequence — and therefore all rendered output — is independent of the
 // worker count.
 //
+// A corollary clients rely on (ib's routing-epoch failover): a global state
+// swap scheduled as one event per shard at the same virtual instant T is
+// equivalent to a barrier-wide swap at T. Each shard executes its own heap
+// in timestamp order, so every shard-local event below T sees the old state
+// and every one at or above T the new, exactly as a stop-the-world swap
+// would arrange — provided each shard's swap event touches only state read
+// by that shard's events, and the swap never shrinks a registered channel
+// bound (horizons computed from the old bounds stay conservative).
+//
 // Mechanically, a window costs no allocations and no locks on the hot path:
 // shards are run by a persistent worker pool with a spin-then-park barrier
 // (built once per run, not per window), a cross-shard deposit appends to a

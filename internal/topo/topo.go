@@ -71,6 +71,14 @@ type Topology struct {
 	// built-in presets set it; the classic two-site testbed (cluster.New)
 	// leaves it false, so the paper's golden experiments never shard.
 	Shardable bool
+	// Failover, when non-nil, arms the fabric's self-healing routing layer
+	// (ib.Fabric.EnableFailover) with this health configuration: every WAN
+	// link is registered with the link-health monitor, scheduled outages
+	// from the link's effective fault plan (per-link Fault, else a matching
+	// run-wide plan) become debounced verdict edges, and each verdict edge
+	// triggers a subnet re-sweep that routes around dead links. Nil keeps
+	// the historical route-once behavior.
+	Failover *ib.HealthConfig
 }
 
 // fill applies spec defaults without mutating the caller's slices.
@@ -272,16 +280,19 @@ type Network struct {
 // shards for this spec: the spec opts in (Shardable), the run asked for
 // shard workers, there is more than one site, the environment is not
 // already a shard view, every WAN link has a positive delay (a zero-delay
-// link cannot bound the lookahead) and no per-link plan is armed, and any
-// run-wide fault plan uses only shard-safe levers. Everything else falls
-// back to the classic single-heap path, whose output is byte-for-byte
-// unchanged.
+// link cannot bound the lookahead), and every fault plan — per-link or
+// run-wide — uses only shard-safe levers (WANDown/WANFlaps, pure functions
+// of simulated time). Everything else falls back to the classic
+// single-heap path, whose output is byte-for-byte unchanged; in
+// particular, failover under a non-time-pure fault plan (where reactive
+// health detection rather than a schedule drives re-sweeps) always runs
+// classic.
 func (t Topology) shardEligible(env *sim.Env) bool {
 	if !t.Shardable || env.ShardWorkers() <= 1 || len(t.Sites) < 2 || env.Sharded() {
 		return false
 	}
 	for _, lk := range t.Links {
-		if lk.Delay <= 0 || lk.Fault != nil {
+		if lk.Delay <= 0 || !lk.Fault.ShardSafe() {
 			return false
 		}
 	}
@@ -293,7 +304,8 @@ func (t Topology) shardEligible(env *sim.Env) bool {
 // link order, then nodes site by site — so LID assignment, routing
 // tie-breaks and therefore simulated results are a pure function of the
 // spec. If the environment carries a run-wide fault plan it is armed on
-// every WAN link; a per-link Fault plan then overrides it on that link.
+// every WAN link its Link restriction matches (all of them when empty); a
+// per-link Fault plan then overrides it on that link.
 //
 // When the spec and run qualify (see shardEligible), Build partitions env
 // into one event shard per site and compiles each site's devices, node
@@ -391,6 +403,35 @@ func Build(env *sim.Env, t Topology) (*Network, error) {
 	}
 	f.UseEnv(env)
 	f.Finalize()
+	rw := fault.PlanFromEnv(env)
+	if rw != nil && rw.Link != "" {
+		matched := false
+		for _, lk := range t.Links {
+			if rw.MatchesLink(lk.A, lk.B) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("topo: fault plan targets unknown link %q", rw.Link)
+		}
+	}
+	if t.Failover != nil {
+		// Register every WAN link with the health monitor. A link's outage
+		// schedule comes from its effective plan: the per-link Fault if set,
+		// else a run-wide plan whose Link restriction matches; links with no
+		// plan register with no schedule (reactive detection only).
+		for i, lk := range t.Links {
+			plan := lk.Fault
+			if plan == nil && rw.MatchesLink(lk.A, lk.B) {
+				plan = rw
+			}
+			f.MonitorLink(nw.links[i].Pair.Link(), nw.links[i].Name(), plan.DownEdges())
+		}
+		if err := f.EnableFailover(*t.Failover); err != nil {
+			return nil, err
+		}
+	}
 	return nw, nil
 }
 

@@ -124,13 +124,16 @@ func NewPairAcross(f *ib.Fabric, name, endA, endB string, delay sim.Time, envA, 
 		envA.RegisterLookaheadBetween(envB, delay)
 		envB.RegisterLookaheadBetween(envA, delay)
 	}
-	// If the environment carries a fault plan, this is the link it wants:
-	// arm the plan's WAN levers (loss models, flaps, brownouts, rate
-	// throttling). With no plan attached this is a no-op, so fault-free
-	// runs are untouched. On a partitioned world only ShardSafe plans ever
-	// reach this point (the compiler refuses to shard otherwise), and those
-	// arm no scheduled closures, so anchoring the injector on envA is safe.
-	fault.PlanFromEnv(envA).ArmWAN(envA, link)
+	// If the environment carries a fault plan naming this link (or naming
+	// no link at all — the historical "every WAN link" behavior), arm the
+	// plan's WAN levers (loss models, flaps, brownouts, rate throttling).
+	// With no plan attached this is a no-op, so fault-free runs are
+	// untouched. On a partitioned world only ShardSafe plans ever reach
+	// this point (the compiler refuses to shard otherwise), and those arm
+	// no scheduled closures, so anchoring the injector on envA is safe.
+	if plan := fault.PlanFromEnv(envA); plan.MatchesLink(endA, endB) {
+		plan.ArmWAN(envA, link)
+	}
 	return &Pair{A: a, B: b, link: link, envA: envA, envB: envB}
 }
 
