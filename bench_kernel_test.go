@@ -137,3 +137,18 @@ func TestKernelRCStreamTelemetryOffAllocs(t *testing.T) {
 		t.Errorf("RC stream with telemetry disabled: %d allocs/op, want <= 2", a)
 	}
 }
+
+// TestKernelRCStreamQueuesDisabledAllocs pins the congestion refactor's
+// disabled path: with no QueueConfig on any link (the default), the
+// bounded-queue support compiled into the port transmit path must add
+// zero allocations — the end-to-end RC stream holds the seed's <= 2
+// allocs per 64 KB message recorded in BENCH_kernel.json.
+func TestKernelRCStreamQueuesDisabledAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	r := testing.Benchmark(BenchmarkKernelRCStream)
+	if a := r.AllocsPerOp(); a > 2 {
+		t.Errorf("RC stream with queues disabled: %d allocs/op, want <= 2", a)
+	}
+}

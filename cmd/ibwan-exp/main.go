@@ -8,9 +8,12 @@
 //
 // Experiments: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13, plus the loss-* family (loss-goodput loss-latency loss-flap
-// loss-tcp) extending the paper to lossy WAN circuits (see FAULTS.md), and
-// the multisite-* family (multisite-bcast multisite-allreduce multisite-nfs
-// multisite-loss) running on N-site topologies selected with -topo (see
+// loss-tcp) extending the paper to lossy WAN circuits (see FAULTS.md), the
+// multisite-* family (multisite-bcast multisite-allreduce multisite-nfs
+// multisite-loss) running on N-site topologies selected with -topo, the
+// congest-* family (congest-streams congest-queue) bounding the WAN egress
+// queues so marks and drops emerge from stream contention, and the
+// failover-* family arming the self-healing routing layer (see
 // EXPERIMENTS.md). -list enumerates them all with descriptions.
 //
 // Every experiment expands into independent measurement points (one
@@ -40,6 +43,7 @@
 //	ibwan-exp -quick -fault wan-down fig8           # chaos: WAN dead, ERR rows
 //	ibwan-exp -quick -topo ring4 multisite-bcast    # 4-site ring, flat vs hier bcast
 //	ibwan-exp -quick -topo mesh4 -shards 4 multisite-allreduce  # sharded 4-site world
+//	ibwan-exp -quick congest-streams congest-queue  # emergent congestion, bounded queues
 //	ibwan-exp -quick -sample-every 1ms -timeline-out tl.json fig8   # sampled timelines
 //	ibwan-exp -quick -sample-every 1ms -timeline-out tl.csv loss-flap  # same, CSV
 //	ibwan-exp -list                                 # experiment ids + descriptions

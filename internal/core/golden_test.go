@@ -14,7 +14,11 @@ var updateGolden = flag.Bool("update", false, "rewrite golden output files")
 // regression test. It covers every simulation layer the kernel
 // optimizations touch: the raw DES/event path (table1), verbs latency
 // (fig3), UD and RC streaming over the fabric (fig4, fig5), the TCP/IPoIB
-// stack (fig7) and MPI collectives (fig11).
+// stack (fig7) and MPI collectives (fig11). None of these configure a
+// queue bound, so the file also pins the congestion-disabled contract: with
+// bounded queues, ECN and credit backpressure compiled in but off, the
+// transmit path and tcpsim's slow start must render byte-identical to the
+// pre-congestion seed.
 var goldenIDs = []string{"table1", "fig3", "fig4", "fig5", "fig7", "fig11"}
 
 // TestGoldenQuickOutput asserts that quick-mode ibwan-exp rendering is

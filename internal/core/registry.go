@@ -262,6 +262,11 @@ var registry = []Spec{
 	{"multisite-allreduce", "flat vs hierarchical allreduce latency on an N-site topology", multisiteAllreduce},
 	{"multisite-nfs", "NFS/RDMA read throughput from each satellite site to a central server", multisiteNFS},
 	{"multisite-loss", "RC goodput across an N-site topology with one WAN link killed per series", multisiteLoss},
+	// The congest-* family bounds the WAN egress queues and lets congestion
+	// emerge from stream contention instead of fault injection (see
+	// congest.go).
+	{"congest-streams", "IPoIB-UD parallel-stream goodput with bounded/ECN-marked WAN queues", congestStreams},
+	{"congest-queue", "IPoIB-UD goodput vs WAN queue bound: tail drop, ECN and lossless backpressure", congestQueue},
 	// The failover-* family arms the fabric's self-healing routing layer
 	// and kills links mid-run: on redundant presets every point reroutes
 	// and lands a measurement instead of an ERR row (see failover.go).

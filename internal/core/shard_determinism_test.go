@@ -25,6 +25,34 @@ func multisiteIDs() []string {
 // scheduler: for every multisite experiment and every topology preset, the
 // rendered output must be byte-identical across -shards=1, -shards=N and
 // the point-parallel -par=8 path, with and without a wan-flap fault plan.
+// TestCongestShardedDeterminism extends the matrix to the congest family on
+// the heterogeneous-delay preset: congest-streams is the one experiment
+// whose queue marks, drops and stalls feed back into endpoint pacing, so it
+// proves bounded queues, ECN echo and go-back-N recovery stay byte-identical
+// when queue state lives on the transmitting port's shard.
+func TestCongestShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism matrix skipped in -short mode")
+	}
+	opt := Options{Quick: true, Topo: "star3-hetero"}
+	const id = "congest-streams"
+	base := renderTables(RunWith(id, opt, RunnerOptions{Workers: 1}))
+	if strings.Contains(base, "ERR") {
+		t.Fatalf("congest-streams produced error rows:\n%s", base)
+	}
+	for _, ropt := range []RunnerOptions{
+		{Workers: 1, ShardWorkers: 4},
+		{Workers: 8},
+		{Workers: 2, ShardWorkers: 2},
+	} {
+		got := renderTables(RunWith(id, opt, ropt))
+		if got != base {
+			t.Fatalf("output diverges at workers=%d shards=%d\n--- sequential ---\n%s\n--- got ---\n%s",
+				ropt.Workers, ropt.ShardWorkers, base, got)
+		}
+	}
+}
+
 func TestShardedMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sharded determinism matrix skipped in -short mode")

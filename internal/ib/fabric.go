@@ -305,7 +305,86 @@ type Link struct {
 	// wan marks the link as the long-haul WAN hop (see MarkWAN); the
 	// telemetry layer records utilization and queue spans only there.
 	wan bool
+	// qcfg, when non-nil, bounds each direction's egress queue (see
+	// ConfigureQueue). Nil keeps the seed model: an infinite FIFO where the
+	// only delay is serialization behind busyUntil.
+	qcfg *QueueConfig
+	// ovfDrops counts packets tail-dropped at a full bounded queue. It is a
+	// ledger disjoint from drops (injected faults) and from the fabric's
+	// unreachable-route counter: emergent loss, not configured loss.
+	ovfDrops atomic.Int64
+	// ecnMarks counts packets CE-marked at admission (queue depth at or
+	// beyond the ECN threshold).
+	ecnMarks atomic.Int64
+	// stalls counts packets held back by lossless credit flow control
+	// instead of being dropped.
+	stalls atomic.Int64
 }
+
+// QueueConfig bounds a link's per-direction egress queue. The zero value is
+// invalid — links without an explicit configuration stay unbounded so the
+// seed model (and the golden experiment output) is untouched.
+type QueueConfig struct {
+	// QueueBytes caps the bytes admitted but not yet fully serialized in
+	// one direction. A packet that would exceed the cap is tail-dropped
+	// (or stalled, when Lossless). A packet larger than the whole cap is
+	// still admitted when the queue is empty, so oversized messages cannot
+	// wedge a flow.
+	QueueBytes int
+	// ECN enables CE marking: packets admitted while the queue holds at
+	// least ECNThreshold bytes carry a congestion-experienced codepoint to
+	// the receiving endpoint instead of being dropped.
+	ECN bool
+	// ECNThreshold is the marking threshold in bytes. Zero with ECN set
+	// selects QueueBytes/2 — a step mark deep enough that a single
+	// window-limited flow's slow-start burst passes unmarked, while a
+	// standing overload crosses it. The step function keeps marking a pure
+	// function of queue state, so sharded runs need no per-port randomness
+	// to stay byte-identical.
+	ECNThreshold int
+	// Lossless models IB credit-based link-level flow control: a packet
+	// that finds the queue full waits for credits (queue drain) instead of
+	// dropping, preserving the verbs layers' no-loss assumption on
+	// configured fabrics.
+	Lossless bool
+}
+
+// ConfigureQueue bounds both directions of the link with cfg. Call it after
+// Connect and before traffic; the per-port queue state lives on each port's
+// own environment, so on sharded worlds each direction's accounting stays
+// shard-local and the determinism matrix holds at any worker count.
+func (l *Link) ConfigureQueue(cfg QueueConfig) error {
+	if cfg.QueueBytes <= 0 {
+		return fmt.Errorf("ib: queue bytes must be positive, got %d", cfg.QueueBytes)
+	}
+	if cfg.ECNThreshold < 0 || cfg.ECNThreshold > cfg.QueueBytes {
+		return fmt.Errorf("ib: ECN threshold %d outside queue bound %d", cfg.ECNThreshold, cfg.QueueBytes)
+	}
+	if cfg.ECN && cfg.ECNThreshold == 0 {
+		cfg.ECNThreshold = cfg.QueueBytes / 2
+		if cfg.ECNThreshold == 0 {
+			cfg.ECNThreshold = 1
+		}
+	}
+	l.qcfg = &cfg
+	l.a.cong = newPortQueue(l.a)
+	l.b.cong = newPortQueue(l.b)
+	return nil
+}
+
+// Queue returns the link's queue configuration, or nil when unbounded.
+func (l *Link) Queue() *QueueConfig { return l.qcfg }
+
+// OverflowDrops returns the number of packets tail-dropped at a full
+// bounded queue (disjoint from the injected-fault ledger, see Drops).
+func (l *Link) OverflowDrops() int64 { return l.ovfDrops.Load() }
+
+// ECNMarks returns the number of packets CE-marked at admission.
+func (l *Link) ECNMarks() int64 { return l.ecnMarks.Load() }
+
+// CreditStalls returns the number of packets held back by lossless credit
+// flow control.
+func (l *Link) CreditStalls() int64 { return l.stalls.Load() }
 
 // MarkWAN labels the link as the WAN hop for telemetry purposes: its ports
 // record utilization, queueing delay and wan.xmit spans when observation is
@@ -361,6 +440,32 @@ type Port struct {
 	// forwarding) rides the kernel's closure-free AtArg path.
 	deliverArg func(any)
 	sendArg    func(any)
+	// cong holds the bounded-queue state for this direction when the link
+	// has a QueueConfig; nil means the unbounded seed path.
+	cong *portQueue
+}
+
+// portQueue is one direction's bounded egress queue. All state is touched
+// only from the owning port's environment — on a sharded world that is the
+// sender's shard, so admission, marking and drain are shard-local.
+type portQueue struct {
+	// depth is the bytes admitted and not yet fully serialized.
+	depth int
+	// sizes records admitted wire sizes in departure order. Drain events
+	// read sizes rather than the packet itself: by the time a drain fires
+	// at the departure instant, a zero-delay peer may already have consumed
+	// (and freed) the packet.
+	sizes sim.Ring[int]
+	// waitq holds packets stalled on lossless credits, in arrival order.
+	waitq sim.Ring[*packet]
+	// drainArg is the long-lived drain handler for closure-free AtArg.
+	drainArg func(any)
+}
+
+func newPortQueue(p *Port) *portQueue {
+	q := &portQueue{}
+	q.drainArg = func(any) { p.drain() }
+	return q
 }
 
 func newPort(env *sim.Env, dev Device, link *Link) *Port {
@@ -370,8 +475,96 @@ func newPort(env *sim.Env, dev Device, link *Link) *Port {
 	return p
 }
 
-// send serializes pkt onto the link toward the peer port.
+// send serializes pkt onto the link toward the peer port. Links without a
+// QueueConfig take the unbounded transmit path unchanged from the seed
+// model; bounded links pass through admission control first.
 func (p *Port) send(pkt *packet) {
+	if p.cong != nil {
+		p.sendBounded(pkt)
+		return
+	}
+	p.transmit(pkt)
+}
+
+// sendBounded applies the bounded-queue admission decision: tail-drop (or a
+// lossless credit stall) when the packet would overflow the queue, otherwise
+// ECN marking and transmission.
+func (p *Port) sendBounded(pkt *packet) {
+	q := p.cong
+	cfg := p.link.qcfg
+	// A packet larger than the whole queue is admitted when the queue is
+	// empty — otherwise it could never transmit at all.
+	if q.depth > 0 && q.depth+pkt.wire > cfg.QueueBytes {
+		fab := p.dev.fabric()
+		if cfg.Lossless {
+			// Credit-based link-level flow control: the next hop withholds
+			// credits, so the packet waits for queue drain instead of
+			// dropping. The verbs layers above never see loss.
+			p.link.stalls.Add(1)
+			if fab.obs != nil {
+				fab.obs.wanCreditStalls.Add(1)
+			}
+			q.waitq.Push(pkt)
+			return
+		}
+		p.link.ovfDrops.Add(1)
+		if fab.obs != nil {
+			fab.obs.wanOverflowDrops.Add(1)
+		}
+		fab.traceReason("drop", p.dev, pkt, "overflow")
+		fab.freePacket(pkt)
+		return
+	}
+	p.admit(pkt)
+}
+
+// admit books pkt into the bounded queue (marking it CE past the ECN
+// threshold), transmits it, and schedules the drain that releases its bytes
+// at the departure instant.
+func (p *Port) admit(pkt *packet) {
+	q := p.cong
+	cfg := p.link.qcfg
+	fab := p.dev.fabric()
+	if cfg.ECN && q.depth >= cfg.ECNThreshold {
+		pkt.ecn = true
+		p.link.ecnMarks.Add(1)
+		if fab.obs != nil {
+			fab.obs.wanECNMarks.Add(1)
+		}
+	}
+	q.depth += pkt.wire
+	q.sizes.Push(pkt.wire)
+	if fab.obs != nil {
+		fab.obs.wanQueueDepth.Observe(int64(q.depth))
+	}
+	depart := p.transmit(pkt)
+	p.env.AtArg(depart-p.env.Now(), q.drainArg, nil)
+}
+
+// drain releases one packet's bytes at its departure instant and re-admits
+// any stalled packets that now fit. Drains are scheduled once per admission
+// and fire in admission order (departure times are nondecreasing), so sizes
+// pops pair up with the packets they booked even across mid-run rate
+// changes.
+func (p *Port) drain() {
+	q := p.cong
+	q.depth -= q.sizes.Pop()
+	cfg := p.link.qcfg
+	for q.waitq.Len() > 0 {
+		head := *q.waitq.Front()
+		if q.depth > 0 && q.depth+head.wire > cfg.QueueBytes {
+			break
+		}
+		q.waitq.Pop()
+		p.admit(head)
+	}
+}
+
+// transmit is the serialization core shared by the bounded and unbounded
+// paths: busy-until occupancy, telemetry, injected-fault drops, and
+// propagation toward the peer. It returns the departure time (the instant
+// the last bit leaves the port).
+func (p *Port) transmit(pkt *packet) sim.Time {
 	now := p.env.Now()
 	start := now
 	if p.busyUntil > start {
@@ -410,12 +603,13 @@ func (p *Port) send(pkt *packet) {
 		}
 		fab.traceReason("drop", p.dev, pkt, "fault")
 		fab.freePacket(pkt)
-		return
+		return depart
 	}
 	arrive := depart + p.link.prop
 	// The peer may live on another shard (the WAN hop of a sharded world);
 	// AtArgOn degrades to plain AtArg when both ports share an environment.
 	p.env.AtArgOn(p.peer.env, arrive-now, p.peer.deliverArg, pkt)
+	return depart
 }
 
 // TxBytes returns the total wire bytes transmitted from this port.

@@ -139,3 +139,90 @@ func TestDropAccountingAgreement(t *testing.T) {
 		t.Errorf("injector Drops() = %d, Link.Drops() = %d", in.Drops(), drops)
 	}
 }
+
+// TestThreeLedgerDropAccounting drives all three loss mechanisms in one
+// run — injected Bernoulli drops on the narrow hop, bounded-queue overflow
+// on the same hop (DDR arrivals against an SDR drain), and
+// unreachable-route drops once the only path is swept away — and checks
+// that the three ledgers are disjoint and sum exactly to the tracer's
+// total count of dropped packets.
+func TestThreeLedgerDropAccounting(t *testing.T) {
+	env := sim.NewEnv()
+	reg := telemetry.NewRegistry()
+	telemetry.Attach(env, &telemetry.Telemetry{Metrics: reg})
+	f := ib.NewFabric(env)
+	var ct ib.CountingTracer
+	f.SetTracer(ct.Hook())
+	a, b := f.AddHCA("a"), f.AddHCA("b")
+	s1 := f.AddSwitch("s1", ib.SwitchDelay)
+	s2 := f.AddSwitch("s2", ib.SwitchDelay)
+	f.Connect(a, s1, ib.DDR, ib.DefaultCableDelay)
+	mid := f.Connect(s1, s2, ib.SDR, 50*sim.Microsecond)
+	f.Connect(s2, b, ib.DDR, ib.DefaultCableDelay)
+	f.Finalize()
+	if err := mid.ConfigureQueue(ib.QueueConfig{QueueBytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(env, 42)
+	in.Use(fault.Bernoulli{P: 0.05})
+	in.AttachLink(mid)
+	// The only path dies at 20ms, after the burst has drained; reactive
+	// detection is off so the verdict comes from the schedule alone.
+	f.MonitorLink(mid, "s1-s2", []ib.HealthTransition{{At: 20 * sim.Millisecond, Down: true}})
+	if err := f.EnableFailover(ib.HealthConfig{DebounceDown: 250 * sim.Microsecond, TimeoutThreshold: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// A wide-open send window: 64 in-flight 2 KB messages against a 16 KB
+	// bound on the narrow hop guarantees tail drops alongside the
+	// Bernoulli losses.
+	qa, qb := ib.CreateRCPair(a, b, nil, nil, ib.QPConfig{
+		RetryLimit: 100, RetryTimeout: 200 * sim.Microsecond, MaxInflight: 64,
+	})
+	const msgs = 100
+	env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			qb.PostRecv(ib.RecvWR{})
+		}
+		for i := 0; i < msgs; i++ {
+			qb.CQ().Poll(p)
+		}
+	})
+	var tail ib.Status
+	env.Go("send", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 2048})
+		}
+		for i := 0; i < msgs; i++ {
+			qa.CQ().Poll(p)
+		}
+		// Past the sweep the path is gone: this send must fail through the
+		// unreachable ledger, not hang.
+		p.Sleep(25 * sim.Millisecond)
+		qa.PostSend(ib.SendWR{Op: ib.OpSend, Len: 2048})
+		tail = qa.CQ().Poll(p).Status
+		env.Stop()
+	})
+	env.Run()
+	env.Shutdown()
+
+	inj, ovf, unr := mid.Drops(), mid.OverflowDrops(), f.UnreachableDrops()
+	if inj == 0 || ovf == 0 || unr == 0 {
+		t.Fatalf("want every ledger driven: injected=%d overflow=%d unreachable=%d", inj, ovf, unr)
+	}
+	if tail == ib.StatusOK {
+		t.Error("post-sweep send completed OK; want an error status via the unreachable drop")
+	}
+	if total := inj + ovf + unr; total != ct.Drops {
+		t.Errorf("ledgers sum to %d (injected=%d overflow=%d unreachable=%d), tracer counted %d drops",
+			total, inj, ovf, unr, ct.Drops)
+	}
+	if got := reg.Counter("ib.link.drops").Value(); got != inj {
+		t.Errorf("telemetry ib.link.drops = %d, want %d", got, inj)
+	}
+	if got := reg.Counter("wan.link.overflow.drops").Value(); got != ovf {
+		t.Errorf("telemetry wan.link.overflow.drops = %d, want %d", got, ovf)
+	}
+	if got := reg.Counter("ib.route.unreachable.drops").Value(); got != unr {
+		t.Errorf("telemetry ib.route.unreachable.drops = %d, want %d", got, unr)
+	}
+}

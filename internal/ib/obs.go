@@ -28,6 +28,12 @@ type fabObs struct {
 	udRecvDrops    *telemetry.Counter
 	linkDrops      *telemetry.Counter
 
+	// Bounded link queues (congestion model).
+	wanQueueDepth    *telemetry.HiResHistogram // queue depth at admission, bytes
+	wanECNMarks      *telemetry.Counter        // packets CE-marked at admission
+	wanOverflowDrops *telemetry.Counter        // tail-drops at a full queue (emergent loss)
+	wanCreditStalls  *telemetry.Counter        // packets held by lossless credit flow control
+
 	// Self-healing routing layer (health.go).
 	routeEpochs       *telemetry.Counter        // subnet re-sweeps after Finalize
 	routeUnreachable  *telemetry.Counter        // packets dropped for lack of a route
@@ -66,6 +72,11 @@ func newFabObs(tel *telemetry.Telemetry) *fabObs {
 		qpErrors:       m.Counter("ib.qp.errors"),
 		udRecvDrops:    m.Counter("ib.ud.recv.drops"),
 		linkDrops:      m.Counter("ib.link.drops"),
+
+		wanQueueDepth:    m.HiRes("wan.link.queue.depth"),
+		wanECNMarks:      m.Counter("wan.link.ecn.marks"),
+		wanOverflowDrops: m.Counter("wan.link.overflow.drops"),
+		wanCreditStalls:  m.Counter("wan.link.credit.stalls"),
 
 		routeEpochs:       m.Counter("ib.route.epochs"),
 		routeUnreachable:  m.Counter("ib.route.unreachable.drops"),

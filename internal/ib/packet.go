@@ -30,6 +30,10 @@ type packet struct {
 	last         bool
 	ud           bool // UD datagram (reported as pkt "ud" in traces)
 	retx         bool // put on the wire by a retransmission
+	// ecn is the congestion-experienced codepoint: set by a bounded link
+	// queue at admission past its ECN threshold, accumulated onto the
+	// receiving transfer, and surfaced to upper layers via Completion.ECN.
+	ecn bool
 }
 
 // transfer is the sender-side context of one message / RDMA operation in
@@ -55,6 +59,9 @@ type transfer struct {
 	// inbound reassembly progress (responder side)
 	got       int
 	delivered bool
+	// ecn accumulates congestion-experienced marks from the transfer's
+	// packets (responder-owned, like got) and rides into Completion.ECN.
+	ecn bool
 	// readData is the responder-side snapshot streamed back for RDMA read.
 	readData []byte
 	// data carried by a UD datagram (single packet).
@@ -99,6 +106,7 @@ func (t *transfer) reset() {
 	t.epoch = 0
 	t.got = 0
 	t.delivered = false
+	t.ecn = false
 	t.readData = nil
 	t.udData = nil
 	t.rwr = RecvWR{}

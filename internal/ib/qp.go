@@ -122,6 +122,11 @@ type Completion struct {
 	SrcLID LID // for receives: originating HCA
 	// Meta is the sender's SendWR.Meta tag (receive completions only).
 	Meta any
+	// ECN reports that at least one packet of the inbound transfer carried
+	// the congestion-experienced mark from a bounded link queue (receive
+	// completions only). Upper layers (IPoIB -> tcpsim, SDP) use it as
+	// their congestion signal.
+	ECN bool
 }
 
 // CQ is a completion queue processes can block on. Entries and parked

@@ -288,6 +288,9 @@ func (q *QP) rcData(pkt *packet, readResp bool) {
 		}
 		return
 	}
+	if pkt.ecn {
+		t.ecn = true
+	}
 	if pkt.seq == 0 {
 		t.got = pkt.payload
 	} else {
@@ -395,7 +398,7 @@ func (q *QP) deliverSend(t *transfer) {
 
 // recvComp posts the receive completion (the RecvOverheadSR stage).
 func (q *QP) recvComp(t *transfer) {
-	q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: t.rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta})
+	q.cq.post(Completion{Op: OpRecv, Status: StatusOK, Bytes: t.size, Ctx: t.rwr.Ctx, QPN: q.qpn, SrcQPN: t.origin.qpn, SrcLID: t.origin.hca.lid, Meta: t.wr.Meta, ECN: t.ecn})
 	t.recvDone.Store(true)
 	q.hca.fab.unref(t)
 }

@@ -31,7 +31,8 @@ type TraceEvent struct {
 	// Retx marks packets put on the wire by a retransmission.
 	Retx bool `json:"retx,omitempty"`
 	// Reason qualifies drop events ("fault": injected on the wire,
-	// "no-recv": UD datagram with no posted receive), rto events
+	// "no-recv": UD datagram with no posted receive, "overflow": tail-drop
+	// at a full bounded link queue, "unreachable": no route), rto events
 	// ("timeout") and err events ("retry-exceeded").
 	Reason string `json:"reason,omitempty"`
 }

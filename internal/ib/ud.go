@@ -76,6 +76,10 @@ func (q *QP) udReceive(pkt *packet) {
 	if rwr.Buf != nil && t.udData != nil {
 		copy(rwr.Buf, t.udData)
 	}
+	if pkt.ecn {
+		// Datagrams are single-packet; the mark transfers directly.
+		t.ecn = true
+	}
 	q.stats.MsgsRecv++
 	q.stats.BytesRecv += int64(t.size)
 	t.rwr = rwr

@@ -68,8 +68,11 @@ const DefaultCMWindow = 32
 const recvPool = 1024
 
 // Handler consumes an arriving IP packet: the source interface address, the
-// opaque packet payload (as passed to Send) and its length in bytes.
-type Handler func(src ib.LID, payload any, length int)
+// opaque packet payload (as passed to Send), its length in bytes, and
+// whether the underlying IB transfer carried a congestion-experienced mark
+// from a bounded link queue (the ECN codepoint tcpsim echoes back to the
+// sender).
+type Handler func(src ib.LID, payload any, length int, ecn bool)
 
 // Network is the IPoIB "subnet": the registry mapping LIDs to interfaces,
 // standing in for ARP/neighbour discovery.
@@ -235,7 +238,7 @@ func (d *NetDev) startReceiver() {
 				qp.PostRecv(ib.RecvWR{})
 			}
 			if d.handler != nil {
-				d.handler(c.SrcLID, c.Meta, c.Bytes-EncapHeader)
+				d.handler(c.SrcLID, c.Meta, c.Bytes-EncapHeader, c.ECN)
 			}
 		}
 	})

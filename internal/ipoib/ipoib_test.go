@@ -24,7 +24,7 @@ func TestDatagramDelivery(t *testing.T) {
 	env, da, db := twoDevs(t, Datagram, 0, 0)
 	var got []int
 	var lens []int
-	db.SetHandler(func(src ib.LID, payload any, length int) {
+	db.SetHandler(func(src ib.LID, payload any, length int, ecn bool) {
 		got = append(got, payload.(*fakePkt).id)
 		lens = append(lens, length)
 	})
@@ -51,7 +51,7 @@ func TestDatagramDelivery(t *testing.T) {
 func TestConnectedDelivery(t *testing.T) {
 	env, da, db := twoDevs(t, Connected, 0, sim.Micros(100))
 	count := 0
-	db.SetHandler(func(src ib.LID, payload any, length int) {
+	db.SetHandler(func(src ib.LID, payload any, length int, ecn bool) {
 		count++
 		if length != 60000 {
 			t.Errorf("length = %d, want 60000", length)
@@ -100,8 +100,8 @@ func TestConnectedCustomMTU(t *testing.T) {
 func TestBidirectionalTraffic(t *testing.T) {
 	env, da, db := twoDevs(t, Datagram, 0, sim.Micros(10))
 	gotA, gotB := 0, 0
-	da.SetHandler(func(src ib.LID, payload any, length int) { gotA++ })
-	db.SetHandler(func(src ib.LID, payload any, length int) { gotB++ })
+	da.SetHandler(func(src ib.LID, payload any, length int, ecn bool) { gotA++ })
+	db.SetHandler(func(src ib.LID, payload any, length int, ecn bool) { gotB++ })
 	env.Go("a", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
 			da.Send(db.LID(), nil, 1000)

@@ -122,6 +122,12 @@ type Conn struct {
 	recvBytes   int
 	readWaiters []*sim.Event
 	delivered   int64
+	// ecnMarks counts inbound completions whose transfer carried a
+	// congestion-experienced mark from a bounded link queue. SDP itself
+	// rides RC (the fabric retransmits), so the mark is surfaced as a
+	// congestion observable for callers that adapt stream counts or
+	// zcopy thresholds rather than acted on here.
+	ecnMarks int64
 
 	// Zcopy bookkeeping.
 	zpending map[*ib.MR]*sim.Event
@@ -201,6 +207,10 @@ func (c *Conn) SetZcopyThreshold(n int) {
 // Delivered reports in-order payload bytes received.
 func (c *Conn) Delivered() int64 { return c.delivered }
 
+// ECNMarks returns the number of inbound messages that arrived
+// congestion-marked by a bounded link queue.
+func (c *Conn) ECNMarks() int64 { return c.ecnMarks }
+
 func (c *Conn) send(m *wireMsg) { c.sendQ.TryPut(m) }
 
 func (c *Conn) postWire(m *wireMsg) {
@@ -212,6 +222,9 @@ func (c *Conn) postWire(m *wireMsg) {
 func (c *Conn) handle(p *sim.Proc, comp ib.Completion) {
 	switch comp.Op {
 	case ib.OpRecv:
+		if comp.ECN {
+			c.ecnMarks++
+		}
 		c.qp.PostRecv(ib.RecvWR{})
 		m := comp.Meta.(*wireMsg)
 		switch m.kind {

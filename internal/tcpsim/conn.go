@@ -10,6 +10,12 @@ const (
 	synFlag = 1 << iota
 	ackFlag
 	finFlag
+	// eceFlag echoes a congestion-experienced mark back to the sender
+	// (RFC 3168 ECN-Echo); the receiver keeps setting it until the sender
+	// confirms with cwrFlag.
+	eceFlag
+	// cwrFlag confirms the sender reduced its congestion window.
+	cwrFlag
 )
 
 // segment is one TCP segment. Headers ride as struct fields; the simulated
@@ -27,12 +33,21 @@ type segment struct {
 	wnd              int    // advertised window (SYN/SYNACK and acks)
 	length           int    // payload bytes
 	spans            []span // payload runs (real or synthetic), in order
+	// ce is the IP-layer congestion-experienced codepoint, stamped by the
+	// receiving stack when the carrying IB transfer was marked by a bounded
+	// link queue. Receiver-owned, like the delivery bookkeeping.
+	ce bool
 
 	// refs counts in-progress flights: transmissions handed to a transmit
 	// context whose receive-side processing has not finished yet. A flight
 	// lost to fault injection never completes, leaving the segment to the
-	// garbage collector — safe, just unpooled.
-	refs int
+	// garbage collector — safe, just unpooled. It is atomic because on a
+	// sharded world a go-back-N retransmission (sender shard, refs up) can
+	// overlap the original flight's receive processing (peer shard, refs
+	// down) inside one conservative window. A plain int32 driven through
+	// sync/atomic functions (not atomic.Int32) keeps the pooled zeroing
+	// assignment in maybeFreeSegment copyable.
+	refs int32
 	// inUnacked marks membership in the sender's retransmission queue.
 	inUnacked bool
 }
@@ -41,6 +56,15 @@ type segment struct {
 type span struct {
 	data   []byte
 	length int
+}
+
+// oooSeg is one out-of-order segment parked in the receiver's reassembly
+// queue: its sequence range and its payload spans, copied out so the
+// segment object itself can be recycled.
+type oooSeg struct {
+	seq    int64
+	length int
+	spans  []span
 }
 
 // Conn is one TCP connection endpoint.
@@ -55,6 +79,24 @@ type Conn struct {
 	sndUna, sndNxt int64
 	cwnd           int
 	swnd           int // peer's advertised window
+	// ssthresh separates exponential slow start from additive congestion
+	// avoidance. It starts at the window ceiling, so a flow that never sees
+	// congestion grows exactly like the seed model's monotonic slow start.
+	ssthresh int
+	// dupAcks counts consecutive duplicate acks; three trigger fast
+	// retransmit.
+	dupAcks int
+	// recover is the highest sequence outstanding at the last window cut;
+	// acks below it belong to the same congestion event and must not cut
+	// again (one multiplicative decrease per round trip).
+	recover int64
+	// lossRecovery is true from a fast retransmit until the cumulative ack
+	// passes recover: partial acks inside the round refill the halved flight
+	// but neither grow the window nor retransmit again.
+	lossRecovery bool
+	// sendCWR schedules a congestion-window-reduced confirmation on the
+	// next data segment, answering the receiver's ECE echo.
+	sendCWR bool
 	sendQ          sim.Ring[span]
 	sendQBytes     int
 	unacked        sim.Ring[*segment] // retransmission queue (go-back-N)
@@ -78,6 +120,15 @@ type Conn struct {
 	recvBuf     sim.Ring[span]
 	recvBytes   int
 	readWaiters sim.Ring[*sim.Event]
+	// ooo is the reassembly queue: segments that arrived beyond a hole,
+	// sorted by sequence, waiting for a retransmission to fill the gap.
+	// With it, one lost segment costs one retransmission instead of a
+	// whole go-back-N window. Empty on every in-order path, so clean runs
+	// never touch it.
+	ooo []oooSeg
+	// echoECE keeps ECE set on outgoing segments from the first
+	// congestion-experienced arrival until the peer confirms with CWR.
+	echoECE bool
 
 	// Counters.
 	delivered   int64 // in-order payload bytes accepted (receive side)
@@ -93,6 +144,7 @@ func newConn(s *Stack, remote ib.LID, remotePort, localPort int) *Conn {
 		established: s.env.NewEvent(),
 		cwnd:        InitialCwnd * s.MSS(),
 		swnd:        s.cfg.Window, // refined by SYN/SYNACK exchange
+		ssthresh:    s.cfg.Window,
 	}
 }
 
@@ -276,6 +328,12 @@ func (c *Conn) pump() {
 			break
 		}
 		seg := c.newSegment(ackFlag)
+		if c.sendCWR {
+			// Confirm the ECE-triggered window cut on the next data
+			// segment, so the receiver stops echoing.
+			seg.flags |= cwrFlag
+			c.sendCWR = false
+		}
 		seg.length = n
 		// Pack n bytes from the head spans.
 		left := n
@@ -316,6 +374,9 @@ func (c *Conn) newSegment(flags int) *segment {
 	seg.srcAddr, seg.dst = c.stack.Addr(), c.remote
 	seg.srcPort, seg.dstPort = c.localPort, c.remotePort
 	seg.flags = flags
+	if c.echoECE {
+		seg.flags |= eceFlag
+	}
 	seg.seq, seg.ack = c.sndNxt, c.rcvNxt
 	seg.wnd = c.stack.cfg.Window
 	return seg
@@ -351,38 +412,96 @@ func (c *Conn) handle(seg *segment) {
 		c.swnd = seg.wnd
 		c.established.Trigger(nil)
 	}
+	if seg.flags&cwrFlag != 0 {
+		// The sender confirmed a window cut; stop echoing ECE.
+		c.echoECE = false
+	}
+	if seg.ce {
+		// Congestion-experienced: echo ECE on everything we send (starting
+		// with the ack below) until the sender confirms with CWR.
+		c.stack.obs.ecnCE.Add(1)
+		c.echoECE = true
+	}
 	if seg.length > 0 {
 		c.handleData(seg)
 	}
-	c.handleAck(seg.ack)
+	c.handleAck(seg)
 }
 
 func (c *Conn) handleData(seg *segment) {
 	switch {
 	case seg.seq == c.rcvNxt:
-		c.rcvNxt += int64(seg.length)
-		c.delivered += int64(seg.length)
-		// Span values are copied out of the segment, so recycling the
-		// segment never touches buffered stream data.
-		for _, sp := range seg.spans {
-			c.recvBuf.Push(sp)
-		}
-		c.recvBytes += seg.length
-		for c.readWaiters.Len() > 0 {
-			c.readWaiters.Pop().Trigger(nil)
+		c.deliverSpans(seg.spans, seg.length)
+		// A retransmission that fills the hole releases everything parked
+		// behind it in one burst, as in a real reassembly queue.
+		for len(c.ooo) > 0 && c.ooo[0].seq <= c.rcvNxt {
+			o := c.ooo[0]
+			c.ooo = c.ooo[1:]
+			if o.seq == c.rcvNxt {
+				c.deliverSpans(o.spans, o.length)
+			}
 		}
 	case seg.seq < c.rcvNxt:
 		// Duplicate from a retransmission: ack again below.
 	default:
-		// Gap (a predecessor was dropped): go-back-N discards.
+		// Gap (a predecessor was dropped): park the segment in the
+		// reassembly queue and let the ack below report the hole as a
+		// duplicate. Sender framing is stable across retransmissions, so
+		// entries either match exactly (drop the duplicate) or tile.
+		c.insertOOO(seg)
 	}
 	c.sendCtl(ackFlag)
 }
 
-func (c *Conn) handleAck(ackNum int64) {
+// deliverSpans accepts in-order payload. Span values are copied out of the
+// segment, so recycling the segment never touches buffered stream data.
+func (c *Conn) deliverSpans(spans []span, length int) {
+	c.rcvNxt += int64(length)
+	c.delivered += int64(length)
+	for _, sp := range spans {
+		c.recvBuf.Push(sp)
+	}
+	c.recvBytes += length
+	for c.readWaiters.Len() > 0 {
+		c.readWaiters.Pop().Trigger(nil)
+	}
+}
+
+// insertOOO parks an out-of-order segment in the reassembly queue, keeping
+// it sorted by sequence and dropping exact duplicates.
+func (c *Conn) insertOOO(seg *segment) {
+	i := len(c.ooo)
+	for i > 0 && c.ooo[i-1].seq >= seg.seq {
+		if c.ooo[i-1].seq == seg.seq {
+			return
+		}
+		i--
+	}
+	spans := make([]span, len(seg.spans))
+	copy(spans, seg.spans)
+	c.ooo = append(c.ooo, oooSeg{})
+	copy(c.ooo[i+1:], c.ooo[i:])
+	c.ooo[i] = oooSeg{seq: seg.seq, length: seg.length, spans: spans}
+}
+
+func (c *Conn) handleAck(seg *segment) {
+	ackNum := seg.ack
+	if seg.flags&eceFlag != 0 {
+		c.ecnCut(ackNum)
+	}
 	if ackNum <= c.sndUna {
+		// A pure duplicate ack means the receiver is still asking for
+		// sndUna after later data arrived — under go-back-N framing that
+		// only follows a loss. Three in a row trigger fast retransmit.
+		if ackNum == c.sndUna && seg.length == 0 && seg.flags&synFlag == 0 && c.unacked.Len() > 0 {
+			c.dupAcks++
+			if c.dupAcks == 3 && c.sndUna >= c.recover {
+				c.fastRetransmit()
+			}
+		}
 		return
 	}
+	c.dupAcks = 0
 	acked := int(ackNum - c.sndUna)
 	c.sndUna = ackNum
 	for c.unacked.Len() > 0 {
@@ -394,12 +513,31 @@ func (c *Conn) handleAck(ackNum int64) {
 		head.inUnacked = false
 		c.stack.maybeFreeSegment(head)
 	}
-	// Slow start toward the window ceiling (the fabric is lossless, so no
-	// congestion events occur and cwnd rises monotonically).
-	if c.cwnd < c.stack.cfg.Window {
-		c.cwnd += acked
-		if c.cwnd > c.stack.cfg.Window {
-			c.cwnd = c.stack.cfg.Window
+	if c.sndUna >= c.recover {
+		c.lossRecovery = false
+	}
+	// Congestion-window growth: exponential slow start below ssthresh,
+	// additive increase above it. A flow that never sees a congestion event
+	// keeps ssthresh at the window ceiling, so this is exactly the seed
+	// model's monotonic rise toward cfg.Window. Partial acks inside a
+	// loss-recovery round (sndUna still short of recover) advance the window
+	// edge — pump below refills the halved flight — but do not grow it, and
+	// never retransmit: the fast retransmit already resent every hole.
+	if !c.lossRecovery {
+		if c.cwnd < c.ssthresh {
+			c.cwnd += acked
+			if c.cwnd > c.ssthresh {
+				c.cwnd = c.ssthresh
+			}
+		} else if c.cwnd < c.stack.cfg.Window {
+			inc := c.stack.MSS() * acked / c.cwnd
+			if inc < 1 {
+				inc = 1
+			}
+			c.cwnd += inc
+			if c.cwnd > c.stack.cfg.Window {
+				c.cwnd = c.stack.cfg.Window
+			}
 		}
 	}
 	c.rtoGen++
@@ -408,6 +546,53 @@ func (c *Conn) handleAck(ackNum int64) {
 		c.armRTO()
 	}
 	c.pump()
+}
+
+// ecnCut reacts to an ECE echo: one multiplicative decrease per round trip
+// (RFC 3168), confirmed back to the receiver with CWR on the next data
+// segment. Nothing was lost, so nothing is retransmitted.
+func (c *Conn) ecnCut(ackNum int64) {
+	if ackNum < c.recover {
+		return // this round trip's cut already happened
+	}
+	c.cutCwnd()
+	c.sendCWR = true
+	c.stack.obs.ecnCuts.Add(1)
+}
+
+// cutCwnd is the multiplicative decrease: ssthresh and cwnd drop to half
+// the current flight, floored at two segments, and a new recovery round
+// opens at sndNxt.
+func (c *Conn) cutCwnd() {
+	half := int(c.sndNxt-c.sndUna) / 2
+	if m := 2 * c.stack.MSS(); half < m {
+		half = m
+	}
+	if half > c.stack.cfg.Window {
+		half = c.stack.cfg.Window
+	}
+	c.ssthresh = half
+	c.cwnd = half
+	c.recover = c.sndNxt
+}
+
+// fastRetransmit answers the third duplicate ack: halve the window and
+// resend everything outstanding without waiting for the RTO. Tail drop at a
+// full queue loses segments in bursts, so go-back-N repairs every hole in
+// one round trip; the receiver's reassembly queue discards the duplicates,
+// and partial acks during the recovery round never retransmit again — one
+// resend-all per congestion event.
+func (c *Conn) fastRetransmit() {
+	c.cutCwnd()
+	c.lossRecovery = true
+	c.retransmits++
+	c.stack.obs.retransmits.Add(1)
+	c.stack.obs.fastRetransmits.Add(1)
+	c.rtoGen++
+	for i := 0; i < c.unacked.Len(); i++ {
+		c.stack.transmit(*c.unacked.At(i))
+	}
+	c.armRTO()
 }
 
 // armRTO arms the retransmission timer. The fabric is FIFO and lossless,
@@ -431,6 +616,10 @@ func (c *Conn) armRTO() {
 			return
 		}
 		c.rtoStreak++
+		// Timeout loss response: halve ssthresh and restart from one
+		// segment of flight (classic slow-start restart).
+		c.cutCwnd()
+		c.cwnd = c.stack.MSS()
 		// Go-back-N: resend everything outstanding.
 		c.retransmits++
 		c.stack.obs.retransmits.Add(1)

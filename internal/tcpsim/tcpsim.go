@@ -20,6 +20,7 @@ package tcpsim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/ib"
@@ -94,6 +95,13 @@ type Config struct {
 	// before the connection resets with ErrReset/ErrConnectTimeout.
 	// 0 selects DefaultMaxRetransmits; a negative value retries forever.
 	MaxRetransmits int
+	// ECN enables RFC 3168-style congestion signalling: segments arriving
+	// with a congestion-experienced mark (set by a bounded link queue) make
+	// the receiver echo ECE on its acks until the sender confirms with CWR,
+	// and an ECE-marked ack halves the sender's congestion window once per
+	// round trip. Off, marks are ignored (a non-ECT flow) and behavior is
+	// byte-identical to the pre-congestion stack.
+	ECN bool
 }
 
 type connKey struct {
@@ -118,6 +126,11 @@ type Stack struct {
 	// the peer's (control segments are consumed at the receiver); each
 	// stack simply pools whatever it frees.
 	segFree []*segment
+	// sharded marks a stack living on a shard view of a partitioned world.
+	// Mirroring the fabric's policy, sharded stacks never pool segments: a
+	// segment's last toucher can be either endpoint's shard, so recycling
+	// would race; fresh allocations fall back to the garbage collector.
+	sharded bool
 	// obs holds possibly-nil telemetry handles; record methods on nil
 	// handles are no-ops, so the disabled path costs a nil check per site.
 	obs stackObs
@@ -140,10 +153,18 @@ type stackObs struct {
 	resets           *telemetry.Counter   // connections torn down by the recovery machinery
 	segDrops         *telemetry.Counter   // fault-injected segment losses
 	segProcNS        *telemetry.Histogram // per-segment stack processing cost
+	ecnCE            *telemetry.Counter   // segments received with the CE mark
+	ecnCuts          *telemetry.Counter   // cwnd reductions triggered by ECE echoes
+	fastRetransmits  *telemetry.Counter   // dup-ack triggered retransmissions
 }
 
 // newSegment returns a zeroed segment (its spans backing array is kept).
+// On a sharded world segments are always fresh: the pool belongs to no
+// single shard.
 func (s *Stack) newSegment() *segment {
+	if s.sharded {
+		return &segment{}
+	}
 	if n := len(s.segFree); n > 0 {
 		seg := s.segFree[n-1]
 		s.segFree = s.segFree[:n-1]
@@ -157,23 +178,27 @@ func (s *Stack) newSegment() *segment {
 // the segment (or never, if fault injection drops it — then the segment
 // falls back to the garbage collector).
 func (s *Stack) transmit(seg *segment) {
-	seg.refs++
+	atomic.AddInt32(&seg.refs, 1)
 	s.txq.TryPut(seg)
 }
 
 // unrefSegment ends one flight of seg.
 func (s *Stack) unrefSegment(seg *segment) {
-	seg.refs--
-	if seg.refs < 0 {
+	if atomic.AddInt32(&seg.refs, -1) < 0 {
 		panic("tcpsim: segment reference count underflow")
 	}
 	s.maybeFreeSegment(seg)
 }
 
 // maybeFreeSegment recycles seg once no flight is in progress and the
-// sender no longer holds it for retransmission.
+// sender no longer holds it for retransmission. Sharded stacks never
+// recycle (see the sharded field); the segment is left to the garbage
+// collector, which also keeps the inUnacked read shard-local.
 func (s *Stack) maybeFreeSegment(seg *segment) {
-	if seg.refs == 0 && !seg.inUnacked {
+	if s.sharded {
+		return
+	}
+	if atomic.LoadInt32(&seg.refs) == 0 && !seg.inUnacked {
 		spans := seg.spans
 		for i := range spans {
 			spans[i] = span{}
@@ -208,6 +233,7 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 	s := &Stack{
 		env:       dev.Env(),
 		dev:       dev,
+		sharded:   dev.Env().Sharded(),
 		cfg:       cfg,
 		listeners: make(map[int]*Listener),
 		conns:     make(map[connKey]*Conn),
@@ -226,6 +252,9 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			resets:      m.Counter("tcp.conn.resets"),
 			segDrops:    m.Counter("tcp.seg.drops"),
 			segProcNS:   m.Histogram("tcp.segment.proc.ns"),
+			ecnCE:       m.Counter("tcp.ecn.ce.segments"),
+			ecnCuts:     m.Counter("tcp.ecn.cwnd.cuts"),
+			fastRetransmits: m.Counter("tcp.fast.retransmits"),
 		}
 	}
 	// A fault plan on the environment arms the stack's chaos machinery:
@@ -238,10 +267,15 @@ func NewStack(dev *ipoib.NetDev, cfg Config) *Stack {
 			s.dropFn = func(wire int) bool { return in.DropWire(s.env.Now(), wire) }
 		}
 	}
-	dev.SetHandler(func(src ib.LID, payload any, length int) {
+	dev.SetHandler(func(src ib.LID, payload any, length int, ecn bool) {
 		seg, ok := payload.(*segment)
 		if !ok {
 			return // not TCP traffic
+		}
+		if ecn && s.cfg.ECN {
+			// The bounded link queue marked the carrying transfer; stamp
+			// the CE codepoint for the receive path to echo as ECE.
+			seg.ce = true
 		}
 		s.rxq.TryPut(seg)
 	})

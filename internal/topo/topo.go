@@ -54,6 +54,18 @@ type Link struct {
 	// permanent down). It takes precedence over a run-wide plan attached
 	// to the environment, which arms every WAN link.
 	Fault *fault.Plan
+	// QueueBytes bounds the long-haul hop's per-direction egress queue.
+	// Zero with ECN or Lossless set selects the link's bandwidth-delay
+	// product (wan.BDPQueueBytes); zero with neither leaves the seed
+	// model's unbounded FIFO. Queue admission is a pure function of
+	// shard-local state, so bounded links stay shard-eligible.
+	QueueBytes int
+	// ECN enables congestion-experienced marking at half the queue bound
+	// (see ib.QueueConfig).
+	ECN bool
+	// Lossless enables credit-based link-level flow control: packets
+	// stall at a full queue instead of tail-dropping.
+	Lossless bool
 }
 
 // Topology is the declarative spec of an N-site WAN deployment.
@@ -158,6 +170,9 @@ func (t Topology) Validate() error {
 				return fmt.Errorf("topo: link %q - %q fault plan: %w", l.A, l.B, err)
 			}
 		}
+		if l.QueueBytes < 0 {
+			return fmt.Errorf("topo: link %q - %q has negative queue bound %d", l.A, l.B, l.QueueBytes)
+		}
 	}
 	if len(t.Sites) > 1 {
 		// Connectivity: BFS over the site graph from the first site.
@@ -196,6 +211,21 @@ func (t Topology) WithDelay(d sim.Time) Topology {
 	copy(links, t.Links)
 	for i := range links {
 		links[i].Delay = d
+	}
+	t.Links = links
+	return t
+}
+
+// WithQueue returns a copy of the topology with every link's congestion
+// knobs set: a queue bound of bytes (0 selects the per-link BDP), ECN
+// marking, and lossless credit flow control.
+func (t Topology) WithQueue(bytes int, ecn, lossless bool) Topology {
+	links := make([]Link, len(t.Links))
+	copy(links, t.Links)
+	for i := range links {
+		links[i].QueueBytes = bytes
+		links[i].ECN = ecn
+		links[i].Lossless = lossless
 	}
 	t.Links = links
 	return t
@@ -362,6 +392,12 @@ func Build(env *sim.Env, t Topology) (*Network, error) {
 			siteEnv(siteIdx[lk.A]), siteEnv(siteIdx[lk.B]))
 		if lk.Rate != wan.WANRate {
 			if err := pair.Link().SetRate(lk.Rate); err != nil {
+				return nil, fmt.Errorf("topo: link %s: %w", name, err)
+			}
+		}
+		if lk.QueueBytes > 0 || lk.ECN || lk.Lossless {
+			cfg := ib.QueueConfig{QueueBytes: lk.QueueBytes, ECN: lk.ECN, Lossless: lk.Lossless}
+			if err := pair.EnableCongestion(cfg); err != nil {
 				return nil, fmt.Errorf("topo: link %s: %w", name, err)
 			}
 		}

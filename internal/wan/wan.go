@@ -165,13 +165,16 @@ func (p *Pair) lookahead() sim.Time {
 	return 0
 }
 
-// SetDistanceKM sets the delay from an emulated wire length.
+// SetDistanceKM sets the delay from an emulated wire length. It routes
+// through SetDelay so the partitioned-world lookahead guard applies: on a
+// sharded world, shrinking the emulated distance below the registered
+// channel bound panics instead of silently corrupting the schedule.
 func (p *Pair) SetDistanceKM(km float64) error {
 	d, err := DelayForDistance(km)
 	if err != nil {
 		return err
 	}
-	p.link.SetDelay(d)
+	p.SetDelay(d)
 	return nil
 }
 
@@ -188,6 +191,34 @@ func (p *Pair) DistanceKM() float64 {
 
 // Link exposes the WAN link for fault injection in tests.
 func (p *Pair) Link() *ib.Link { return p.link }
+
+// MinQueueBytes floors BDP-sized queue bounds: a metro link with near-zero
+// delay still needs room for a few MTU-sized packets ahead of the
+// serializer.
+const MinQueueBytes = 64 << 10
+
+// BDPQueueBytes returns the bandwidth-delay product of a link direction —
+// rate times round trip — floored at MinQueueBytes. It is the classic
+// single-flow buffer sizing rule: a queue this deep can keep the wire busy
+// across a full window's worth of acks without standing overflow.
+func BDPQueueBytes(rate ib.Rate, delay sim.Time) int {
+	bdp := int(float64(rate) * (2 * delay).Seconds())
+	if bdp < MinQueueBytes {
+		bdp = MinQueueBytes
+	}
+	return bdp
+}
+
+// EnableCongestion bounds the pair's long-haul hop with cfg. A zero
+// QueueBytes defaults to the link's bandwidth-delay product (BDPQueueBytes
+// at the current rate and delay). Unconfigured pairs keep the seed model's
+// unbounded FIFO, so existing experiments are byte-identical.
+func (p *Pair) EnableCongestion(cfg ib.QueueConfig) error {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = BDPQueueBytes(p.link.Rate(), p.link.Delay())
+	}
+	return p.link.ConfigureQueue(cfg)
+}
 
 // String describes the pair.
 func (p *Pair) String() string {

@@ -57,6 +57,28 @@ func TestNegativeDistanceErrors(t *testing.T) {
 	}
 }
 
+// TestSetDistanceKMShardedLookaheadGuard pins the SetDistanceKM bugfix: it
+// used to call link.SetDelay directly, bypassing Pair.SetDelay's
+// partitioned-world guard, so a distance shrink could break the lookahead
+// promise the parallel scheduler runs on. Routed through SetDelay, the
+// shrink must panic; growing the emulated wire stays legal.
+func TestSetDistanceKMShardedLookaheadGuard(t *testing.T) {
+	env := sim.NewEnv()
+	env.SetShardWorkers(2)
+	views := env.Partition(2)
+	f := ib.NewFabric(env)
+	p := NewPairAcross(f, "lb", "A", "B", sim.Millisecond, views[0], views[1])
+	if err := p.SetDistanceKM(400); err != nil { // 2ms: above the bound
+		t.Fatalf("SetDistanceKM(400): %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetDistanceKM below the registered lookahead bound did not panic on a partitioned world")
+		}
+	}()
+	p.SetDistanceKM(10) // 50us: below the registered 1ms bound
+}
+
 func TestPairDelayKnob(t *testing.T) {
 	env := sim.NewEnv()
 	f := ib.NewFabric(env)
